@@ -1,0 +1,88 @@
+// Command spatialbench regenerates the paper's evaluation artifacts: Table I
+// and the per-lemma/figure cost comparisons, measured on the Spatial
+// Computer Model simulator. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	spatialbench -exp all            # run everything
+//	spatialbench -exp table1        # one experiment
+//	spatialbench -list              # list experiments
+//	spatialbench -exp table1 -quick # smaller sweeps
+//	spatialbench -exp scan-ablation -csv  # machine-readable series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type config struct {
+	quick bool
+	csv   bool
+	seed  int64
+}
+
+type experiment struct {
+	name     string
+	artifact string // the paper artifact it reproduces
+	desc     string
+	run      func(cfg config)
+}
+
+var experiments = []experiment{
+	{"table1", "Table I", "energy/depth/distance scaling of scan, sort, selection, SpMV", runTable1},
+	{"collectives", "Lemma IV.1, Cor. IV.2", "broadcast and reduce bounds on h x w subgrids", runCollectives},
+	{"scan-ablation", "Fig. 1 / Sec. IV-C", "Z-order scan vs binary-tree scan vs sequential scan", runScanAblation},
+	{"reduce-ablation", "Sec. IV-B", "multicast-free reduce vs binary-tree reduce (log-factor energy win)", runReduceAblation},
+	{"sort-ablation", "Fig. 2, Lemmas V.3-V.4, Thm V.8", "2-D mergesort vs bitonic network vs mesh shearsort", runSortAblation},
+	{"components", "Lemmas V.5-V.7", "all-pairs sort, rank selection in sorted arrays, 2-D merge bounds", runComponents},
+	{"lowerbound", "Lemma V.1, Cor. V.2", "permutation energy lower bound and sorting optimality", runLowerBound},
+	{"selection", "Thm VI.3", "randomized selection: linear energy, polylog depth, vs sorting", runSelection},
+	{"pram", "Lemmas VII.1-VII.2", "EREW and CRCW simulation per-step costs", runPRAM},
+	{"spmv-ablation", "Thm VIII.2 / Sec. VIII", "direct SpMV vs PRAM-simulated SpMV across matrix families", runSpMVAblation},
+	{"treefix", "Sec. II-A vs [38]", "Euler-tour treefix sums at Theta(n) energy vs the tree-scan baseline", runTreefix},
+	{"depth-scaling", "Table I depth column", "fitted polylog degrees of depth for all four primitives", runDepthScaling},
+	{"congestion", "extension", "max per-link load (XY routing) of scans, sorts and broadcast", runCongestion},
+}
+
+func main() {
+	var (
+		expName = flag.String("exp", "all", "experiment to run (see -list)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quick   = flag.Bool("quick", false, "smaller problem sizes")
+		csv     = flag.Bool("csv", false, "emit CSV series instead of tables where applicable")
+		seed    = flag.Int64("seed", 1, "random seed for workload generation")
+	)
+	flag.Parse()
+
+	if *list {
+		names := make([]string, len(experiments))
+		for i, e := range experiments {
+			names[i] = fmt.Sprintf("  %-16s %-28s %s", e.name, e.artifact, e.desc)
+		}
+		sort.Strings(names)
+		fmt.Println("experiments:")
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := config{quick: *quick, csv: *csv, seed: *seed}
+	ran := false
+	for _, e := range experiments {
+		if *expName == "all" || *expName == e.name {
+			fmt.Printf("=== %s — %s ===\n%s\n\n", e.name, e.artifact, e.desc)
+			e.run(cfg)
+			fmt.Println()
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *expName)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// Smoke tests: the cheap experiments must run to completion without
+// panicking (output goes to stdout; correctness of the numbers is covered
+// by the package tests the experiments are built from).
+func TestCollectivesExperimentSmoke(t *testing.T) {
+	runCollectives(config{quick: true, seed: 1})
+}
+
+func TestReduceAblationSmoke(t *testing.T) {
+	runReduceAblation(config{quick: true, seed: 1, csv: true})
+}
+
+func TestScanAblationSmoke(t *testing.T) {
+	runScanAblation(config{quick: true, seed: 1})
+}
+
+func TestTreefixExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("treefix sweep skipped in -short mode")
+	}
+	runTreefix(config{quick: true, seed: 1})
+}

@@ -1,0 +1,183 @@
+// Command spatialviz renders ASCII visualizations of the Spatial Computer
+// Model: space-filling curve layouts and per-PE message-traffic heatmaps of
+// the library's algorithms. It exists to make the spatial structure of the
+// algorithms — quadrant recursion, Z-order locality, the all-pairs
+// "explosion" — visible at a glance.
+//
+// Usage:
+//
+//	spatialviz -curve zorder -side 8        # draw a curve's visit order
+//	spatialviz -curve hilbert -side 8
+//	spatialviz -heat scan -side 16          # traffic heatmap of an algorithm
+//	spatialviz -heat sort -side 16
+//	spatialviz -heat broadcast -side 32
+//	spatialviz -heat spmv -side 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/collectives"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/order"
+	"repro/internal/sortnet"
+	"repro/internal/spmv"
+	"repro/internal/workload"
+	"repro/internal/zorder"
+)
+
+func main() {
+	var (
+		curve = flag.String("curve", "", "draw a curve: zorder | hilbert")
+		heat  = flag.String("heat", "", "heatmap an algorithm: scan | sort | bitonic | broadcast | reduce | selection | spmv")
+		side  = flag.Int("side", 8, "grid side (power of two)")
+		seed  = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	if !zorder.IsPow2(*side) {
+		fmt.Fprintln(os.Stderr, "side must be a power of two")
+		os.Exit(2)
+	}
+	switch {
+	case *curve != "":
+		drawCurve(*curve, *side)
+	case *heat != "":
+		drawHeat(*heat, *side, *seed)
+	default:
+		flag.Usage()
+	}
+}
+
+// drawCurve prints the visit order of a space-filling curve and its total
+// wire length.
+func drawCurve(kind string, side int) {
+	var cells [][2]int
+	var energy int64
+	switch kind {
+	case "zorder":
+		cells = zorder.Curve(side)
+		energy = zorder.CurveEnergy(side)
+	case "hilbert":
+		cells = zorder.HilbertCurve(side)
+		energy = zorder.HilbertCurveEnergy(side)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown curve %q\n", kind)
+		os.Exit(2)
+	}
+	idx := make([][]int, side)
+	for r := range idx {
+		idx[r] = make([]int, side)
+	}
+	for i, c := range cells {
+		idx[c[0]][c[1]] = i
+	}
+	w := len(fmt.Sprint(side*side - 1))
+	for r := 0; r < side; r++ {
+		parts := make([]string, side)
+		for c := 0; c < side; c++ {
+			parts[c] = fmt.Sprintf("%*d", w, idx[r][c])
+		}
+		fmt.Println(strings.Join(parts, " "))
+	}
+	fmt.Printf("\n%s curve on %dx%d: total length %d (n-1 = %d)\n",
+		kind, side, side, energy, side*side-1)
+}
+
+// drawHeat runs an algorithm with a tracer accumulating, per PE, the total
+// Manhattan distance of messages it sends, then renders the map with
+// intensity characters.
+func drawHeat(op string, side int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := side * side
+	m := machine.New()
+	traffic := make(map[machine.Coord]int64)
+	m.SetTracer(func(from, to machine.Coord, v machine.Value) {
+		d := machine.Dist(from, to)
+		traffic[from] += d
+		traffic[to] += d
+	})
+
+	r := grid.Square(machine.Coord{}, side)
+	vals := workload.Array(workload.Random, n, rng)
+	place := func(t grid.Track) {
+		for i := 0; i < n; i++ {
+			m.Set(t.At(i), "v", vals[i])
+		}
+	}
+	switch op {
+	case "scan":
+		place(grid.ZOrder(r))
+		collectives.Scan(m, r, "v", collectives.Add, 0.0)
+	case "sort":
+		place(grid.RowMajor(r))
+		core.MergeSort(m, r, "v", order.Float64)
+	case "bitonic":
+		place(grid.RowMajor(r))
+		sortnet.Sort(m, grid.RowMajor(r), "v", n, order.Float64)
+	case "broadcast":
+		m.Set(r.Origin, "v", 1.0)
+		collectives.Broadcast(m, r, "v")
+	case "reduce":
+		place(grid.RowMajor(r))
+		collectives.Reduce(m, r, "v", collectives.Add)
+	case "selection":
+		place(grid.RowMajor(r))
+		core.Select(m, r, "v", n/2, order.Float64, rng)
+	case "spmv":
+		a := workload.SparseMatrix(workload.MatUniform, n, n, rng)
+		x := workload.Array(workload.Random, n, rng)
+		if _, err := spmv.Multiply(m, a, x); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown heat op %q\n", op)
+		os.Exit(2)
+	}
+
+	// Bounding box of all traffic (algorithms use scratch outside r).
+	minR, maxR, minC, maxC := 0, side-1, 0, side-1
+	var peak int64
+	for c, t := range traffic {
+		if c.Row < minR {
+			minR = c.Row
+		}
+		if c.Row > maxR {
+			maxR = c.Row
+		}
+		if c.Col < minC {
+			minC = c.Col
+		}
+		if c.Col > maxC {
+			maxC = c.Col
+		}
+		if t > peak {
+			peak = t
+		}
+	}
+	const ramp = " .:-=+*#%@"
+	fmt.Printf("%s on %dx%d (input region top-left; peak PE traffic %d):\n\n", op, side, side, peak)
+	for row := minR; row <= maxR; row++ {
+		var b strings.Builder
+		for col := minC; col <= maxC; col++ {
+			t := traffic[machine.Coord{Row: row, Col: col}]
+			lvl := 0
+			if peak > 0 && t > 0 {
+				lvl = 1 + int(t*int64(len(ramp)-2)/peak)
+				if lvl > len(ramp)-1 {
+					lvl = len(ramp) - 1
+				}
+			}
+			b.WriteByte(ramp[lvl])
+		}
+		fmt.Println(b.String())
+	}
+	mm := m.Metrics()
+	fmt.Printf("\n%v\n", mm)
+}

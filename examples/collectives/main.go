@@ -1,0 +1,49 @@
+// Tour of the communication collectives of Section IV: the depth/energy
+// trade-off between scan designs, and the cost of broadcast and reduce
+// across grid sizes. Prints the same series the paper's Section IV
+// discusses: the energy-optimal Z-order scan matches the sequential scan's
+// linear energy at the binary tree's logarithmic depth.
+//
+// Run with:
+//
+//	go run ./examples/collectives
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/spatialdf"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	fmt.Println("scan design space (energy vs depth), Section IV-C:")
+	fmt.Printf("%8s  %12s %8s   %12s %8s   %12s %8s\n",
+		"n", "zorder E", "depth", "tree E", "depth", "seq E", "depth")
+	for _, n := range []int{256, 1024, 4096, 16384} {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64()
+		}
+		_, z := spatialdf.Scan(vals)
+		_, t := spatialdf.ScanTree(vals)
+		_, s := spatialdf.ScanSequential(vals)
+		fmt.Printf("%8d  %12d %8d   %12d %8d   %12d %8d\n",
+			n, z.Energy, z.Depth, t.Energy, t.Depth, s.Energy, s.Depth)
+	}
+	fmt.Println("\nthe Z-order scan keeps the tree's O(log n) depth at the sequential scan's Theta(n) energy.")
+
+	fmt.Println("\nbroadcast without multicasting (Lemma IV.1):")
+	fmt.Printf("%8s  %12s %8s %10s\n", "n", "energy", "depth", "distance")
+	for _, n := range []int{256, 1024, 4096, 16384, 65536} {
+		m := spatialdf.BroadcastCost(n)
+		fmt.Printf("%8d  %12d %8d %10d\n", n, m.Energy, m.Depth, m.Distance)
+	}
+
+	fmt.Println("\nsegmented scan (the SpMV building block):")
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	heads := []bool{true, false, false, true, false, true, false, false}
+	out, m := spatialdf.SegmentedScan(vals, heads)
+	fmt.Printf("  values:   %v\n  heads:    %v\n  prefixes: %v\n  cost:     %v\n", vals, heads, out, m)
+}

@@ -1,0 +1,154 @@
+// Package analysis provides the statistical and formatting helpers used by
+// the benchmark harness: least-squares scaling-exponent fits on log-log
+// data (to compare measured energy/depth/distance growth against the
+// paper's Theta bounds) and plain-text table rendering.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one measurement: a problem size and a cost.
+type Point struct {
+	N    float64
+	Cost float64
+}
+
+// FitExponent returns the least-squares slope b of log(cost) = a + b*log(n),
+// i.e. the empirical scaling exponent of the measurements. It requires at
+// least two points with positive coordinates.
+func FitExponent(pts []Point) float64 {
+	var xs, ys []float64
+	for _, p := range pts {
+		if p.N > 0 && p.Cost > 0 {
+			xs = append(xs, math.Log(p.N))
+			ys = append(ys, math.Log(p.Cost))
+		}
+	}
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// FitLogExponent returns the least-squares slope c of
+// log(cost) = a + c*log(log n), the empirical polylog degree. Useful for
+// depth measurements expected to be Theta(log^c n).
+func FitLogExponent(pts []Point) float64 {
+	loglog := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		if p.N > math.E {
+			loglog = append(loglog, Point{N: math.Log(p.N), Cost: p.Cost})
+		}
+	}
+	return FitExponent(loglog)
+}
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; each cell is rendered with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v != 0 && (math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (for plotting figures).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Verdict compares a measured exponent against a target with tolerance and
+// returns "PASS exp=..." or "FAIL ...", for the experiment reports.
+func Verdict(measured, want, tol float64) string {
+	if math.IsNaN(measured) {
+		return "FAIL (no fit)"
+	}
+	if math.Abs(measured-want) <= tol {
+		return fmt.Sprintf("PASS (%.2f ~ %.2f)", measured, want)
+	}
+	return fmt.Sprintf("FAIL (%.2f vs %.2f)", measured, want)
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitExponentExact(t *testing.T) {
+	cases := []struct {
+		exp  float64
+		want float64
+	}{{1, 1}, {1.5, 1.5}, {2.5, 2.5}, {0.5, 0.5}}
+	for _, c := range cases {
+		var pts []Point
+		for _, n := range []float64{64, 256, 1024, 4096} {
+			pts = append(pts, Point{N: n, Cost: 3 * math.Pow(n, c.exp)})
+		}
+		got := FitExponent(pts)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("exponent %v: fit %v", c.exp, got)
+		}
+	}
+}
+
+func TestFitExponentQuick(t *testing.T) {
+	// Property: the fit recovers arbitrary power laws exactly.
+	f := func(e8 uint8, c8 uint8) bool {
+		exp := float64(e8%40)/10 + 0.1
+		coef := float64(c8%50) + 1
+		var pts []Point
+		for _, n := range []float64{16, 64, 256} {
+			pts = append(pts, Point{N: n, Cost: coef * math.Pow(n, exp)})
+		}
+		return math.Abs(FitExponent(pts)-exp) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitExponentIgnoresInvalid(t *testing.T) {
+	pts := []Point{{N: -1, Cost: 10}, {N: 10, Cost: 0}, {N: 4, Cost: 16}, {N: 8, Cost: 64}}
+	if got := FitExponent(pts); math.Abs(got-2) > 1e-9 {
+		t.Errorf("fit %v, want 2", got)
+	}
+	if !math.IsNaN(FitExponent(nil)) {
+		t.Error("empty fit should be NaN")
+	}
+	if !math.IsNaN(FitExponent([]Point{{N: 4, Cost: 2}})) {
+		t.Error("single-point fit should be NaN")
+	}
+}
+
+func TestFitLogExponent(t *testing.T) {
+	var pts []Point
+	for _, n := range []float64{256, 1024, 4096, 16384, 65536} {
+		l := math.Log(n)
+		pts = append(pts, Point{N: n, Cost: 7 * l * l * l})
+	}
+	got := FitLogExponent(pts)
+	if math.Abs(got-3) > 1e-6 {
+		t.Errorf("log exponent fit %v, want 3", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "n", "energy")
+	tb.AddRow("scan", 1024, 4096.0)
+	tb.AddRow("sort", 64, 1.23456e9)
+	s := tb.String()
+	if !strings.Contains(s, "scan") || !strings.Contains(s, "energy") {
+		t.Errorf("table output missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,n,energy\n") {
+		t.Errorf("csv header wrong:\n%s", csv)
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	if v := Verdict(1.52, 1.5, 0.15); !strings.HasPrefix(v, "PASS") {
+		t.Errorf("verdict %q", v)
+	}
+	if v := Verdict(2.2, 1.5, 0.15); !strings.HasPrefix(v, "FAIL") {
+		t.Errorf("verdict %q", v)
+	}
+	if v := Verdict(math.NaN(), 1.5, 0.15); !strings.HasPrefix(v, "FAIL") {
+		t.Errorf("verdict %q", v)
+	}
+}

@@ -1,0 +1,34 @@
+package collectives
+
+import (
+	"repro/internal/grid"
+	"repro/internal/machine"
+)
+
+// Gather moves the values in register srcReg of the PEs of src into register
+// dstReg of the first src.Len() positions of dst, one direct message per
+// element, all in one parallel round. Gathering k elements from a region of
+// diameter D costs O(k*(D + D')) energy, O(1) depth and O(D + D') distance,
+// where D' is the diameter of the destination.
+func Gather(m *machine.Machine, src grid.Track, srcReg machine.Reg, dst grid.Track, dstReg machine.Reg) {
+	copyTrack(m, src, srcReg, dst, dstReg, src.Len())
+}
+
+// Scatter is the inverse of Gather: it distributes the first dst.Len()
+// values from src back onto the positions of dst.
+func Scatter(m *machine.Machine, src grid.Track, srcReg machine.Reg, dst grid.Track, dstReg machine.Reg) {
+	copyTrack(m, src, srcReg, dst, dstReg, dst.Len())
+}
+
+func copyTrack(m *machine.Machine, src grid.Track, srcReg machine.Reg, dst grid.Track, dstReg machine.Reg, n int) {
+	vals := make([]machine.Value, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m.Get(src.At(i), srcReg)
+		m.Del(src.At(i), srcReg)
+	}
+	m.Par(func(send func(from, to machine.Coord, dstReg machine.Reg, v machine.Value)) {
+		for i := 0; i < n; i++ {
+			send(src.At(i), dst.At(i), dstReg, vals[i])
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package collectives
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/machine"
+)
+
+func fillRandom(m *machine.Machine, r grid.Rect, reg machine.Reg, rng *rand.Rand) []float64 {
+	vals := make([]float64, 0, r.Size())
+	for row := 0; row < r.H; row++ {
+		for col := 0; col < r.W; col++ {
+			v := rng.Float64()*100 - 50
+			m.Set(r.At(row, col), reg, v)
+			vals = append(vals, v)
+		}
+	}
+	return vals
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if a > scale {
+		scale = a
+	}
+	if -a > scale {
+		scale = -a
+	}
+	return d < 1e-9*scale
+}
+
+func TestReduceSumSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, side := range []int{1, 2, 4, 8, 16} {
+		m := machine.New()
+		r := grid.Square(machine.Coord{}, side)
+		vals := fillRandom(m, r, "v", rng)
+		want := 0.0
+		for _, v := range vals {
+			want += v
+		}
+		Reduce(m, r, "v", Add)
+		if got := m.Get(r.Origin, "v").(float64); !almostEqual(got, want) {
+			t.Errorf("side %d: reduce sum %v, want %v", side, got, want)
+		}
+	}
+}
+
+func TestReduceRectangles(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	shapes := [][2]int{{1, 8}, {8, 1}, {4, 16}, {16, 4}, {4, 12}, {12, 4}, {2, 4}}
+	for _, s := range shapes {
+		m := machine.New()
+		r := grid.Rect{Origin: machine.Coord{Row: -2, Col: 9}, H: s[0], W: s[1]}
+		vals := fillRandom(m, r, "v", rng)
+		want := 0.0
+		for _, v := range vals {
+			want += v
+		}
+		Reduce(m, r, "v", Add)
+		if got := m.Get(r.Origin, "v").(float64); !almostEqual(got, want) {
+			t.Errorf("%v: reduce sum %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := machine.New()
+	r := grid.Square(machine.Coord{}, 8)
+	vals := fillRandom(m, r, "v", rng)
+	want := vals[0]
+	for _, v := range vals {
+		if v > want {
+			want = v
+		}
+	}
+	Reduce(m, r, "v", MaxFloat)
+	if got := m.Get(r.Origin, "v").(float64); got != want {
+		t.Errorf("reduce max %v, want %v", got, want)
+	}
+}
+
+func TestReduceEnergyLinearOnSquare(t *testing.T) {
+	// Corollary IV.2 / Section IV-B: O(n) energy on a square subgrid —
+	// the Theta(log n) improvement over the binary-tree reduce.
+	rng := rand.New(rand.NewSource(10))
+	for _, side := range []int{8, 16, 32, 64} {
+		m := machine.New()
+		r := grid.Square(machine.Coord{}, side)
+		fillRandom(m, r, "v", rng)
+		Reduce(m, r, "v", Add)
+		n := int64(side * side)
+		if e := m.Metrics().Energy; e > 4*n {
+			t.Errorf("side %d: reduce energy %d > 4n", side, e)
+		}
+	}
+}
+
+func TestReduceBeatsTreeByGrowingFactor(t *testing.T) {
+	prev := 0.0
+	rng := rand.New(rand.NewSource(11))
+	for _, side := range []int{8, 16, 32, 64} {
+		r := grid.Square(machine.Coord{}, side)
+
+		m1 := machine.New()
+		fillRandom(m1, r, "v", rng)
+		Reduce(m1, r, "v", Add)
+
+		m2 := machine.New()
+		fillRandom(m2, r, "v", rng)
+		ReduceTrack(m2, grid.RowMajor(r), "v", Add)
+
+		ratio := float64(m2.Metrics().Energy) / float64(m1.Metrics().Energy)
+		if ratio <= prev {
+			t.Errorf("side %d: tree/2D reduce energy ratio %.2f did not grow", side, ratio)
+		}
+		prev = ratio
+	}
+}
+
+func TestReduceTrackCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := machine.New()
+	r := grid.Square(machine.Coord{}, 4)
+	vals := fillRandom(m, r, "v", rng)
+	want := 0.0
+	for _, v := range vals {
+		want += v
+	}
+	ReduceTrack(m, grid.RowMajor(r), "v", Add)
+	if got := m.Get(r.Origin, "v").(float64); !almostEqual(got, want) {
+		t.Errorf("ReduceTrack sum %v, want %v", got, want)
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := machine.New()
+	r := grid.Square(machine.Coord{}, 8)
+	vals := fillRandom(m, r, "v", rng)
+	want := 0.0
+	for _, v := range vals {
+		want += v
+	}
+	AllReduce(m, r, "v", Add)
+	for row := 0; row < r.H; row++ {
+		for col := 0; col < r.W; col++ {
+			if got := m.Get(r.At(row, col), "v").(float64); !almostEqual(got, want) {
+				t.Fatalf("PE (%d,%d): allreduce %v, want %v", row, col, got, want)
+			}
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	m := machine.New()
+	src := grid.Square(machine.Coord{}, 4)
+	scratch := src.RightOf(4, 4)
+	srcT := grid.ZOrder(src)
+	dstT := grid.RowMajor(scratch)
+	n := 16
+	for i := 0; i < n; i++ {
+		m.Set(srcT.At(i), "v", i*i)
+	}
+	Gather(m, srcT, "v", dstT, "g")
+	for i := 0; i < n; i++ {
+		if m.Has(srcT.At(i), "v") {
+			t.Fatal("Gather left source registers live")
+		}
+		if got := m.Get(dstT.At(i), "g"); got != i*i {
+			t.Fatalf("gathered[%d] = %v", i, got)
+		}
+	}
+	Scatter(m, dstT, "g", srcT, "v")
+	for i := 0; i < n; i++ {
+		if got := m.Get(srcT.At(i), "v"); got != i*i {
+			t.Fatalf("scattered[%d] = %v", i, got)
+		}
+	}
+	if d := m.Metrics().Depth; d > 2 {
+		t.Errorf("gather+scatter depth %d, want <= 2", d)
+	}
+}

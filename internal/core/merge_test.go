@@ -1,0 +1,339 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/order"
+)
+
+// mergeSetup places two sorted arrays in the top and bottom quadrant pair of
+// a square region (as the mergesort does) and returns everything needed to
+// merge them into the top half.
+func mergeSetup(a, b []float64) (*machine.Machine, grid.Track, grid.Track, grid.Rect) {
+	m := machine.New()
+	side := 2
+	for side*side/4 < len(a) || side*side/4 < len(b) {
+		side *= 2
+	}
+	r := grid.Square(machine.Coord{}, side)
+	q := r.Quadrants()
+	tA := grid.Slice(grid.RowMajor(q[0]), 0, len(a))
+	tB := grid.Slice(grid.RowMajor(q[1]), 0, len(b))
+	for i, v := range a {
+		m.Set(tA.At(i), "v", v)
+	}
+	for i, v := range b {
+		m.Set(tB.At(i), "v", v)
+	}
+	return m, tA, tB, r.TopHalf()
+}
+
+func TestMergeTwoFullQuadrants(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, quarter := range []int{1, 4, 16, 64, 256} {
+		a := sortedRandom(rng, quarter, 100)
+		b := sortedRandom(rng, quarter, 100)
+		m, tA, tB, dst := mergeSetup(a, b)
+		Merge(m, tA, tB, "v", dst, order.Float64)
+		want := append(append([]float64(nil), a...), b...)
+		sort.Float64s(want)
+		out := grid.RowMajor(dst)
+		for i := range want {
+			if got := m.Get(out.At(i), "v").(float64); got != want[i] {
+				t.Fatalf("quarter=%d: merged[%d] = %v, want %v", quarter, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestMergeQuick(t *testing.T) {
+	f := func(rawA, rawB []int8) bool {
+		quarter := 16
+		a := make([]float64, quarter)
+		b := make([]float64, quarter)
+		for i := 0; i < quarter; i++ {
+			if i < len(rawA) {
+				a[i] = float64(rawA[i])
+			}
+			if i < len(rawB) {
+				b[i] = float64(rawB[i])
+			}
+		}
+		sort.Float64s(a)
+		sort.Float64s(b)
+		m, tA, tB, dst := mergeSetup(a, b)
+		Merge(m, tA, tB, "v", dst, order.Float64)
+		want := append(append([]float64(nil), a...), b...)
+		sort.Float64s(want)
+		out := grid.RowMajor(dst)
+		for i := range want {
+			if m.Get(out.At(i), "v").(float64) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeInterleavedAndDisjoint(t *testing.T) {
+	quarter := 64
+	a := make([]float64, quarter)
+	b := make([]float64, quarter)
+	// Perfectly interleaved.
+	for i := range a {
+		a[i] = float64(2 * i)
+		b[i] = float64(2*i + 1)
+	}
+	m, tA, tB, dst := mergeSetup(a, b)
+	Merge(m, tA, tB, "v", dst, order.Float64)
+	out := grid.RowMajor(dst)
+	for i := 0; i < 2*quarter; i++ {
+		if got := m.Get(out.At(i), "v").(float64); got != float64(i) {
+			t.Fatalf("interleaved merged[%d] = %v", i, got)
+		}
+	}
+	// Fully disjoint (all of B below all of A).
+	for i := range a {
+		a[i] = float64(i + quarter)
+		b[i] = float64(i)
+	}
+	m, tA, tB, dst = mergeSetup(a, b)
+	Merge(m, tA, tB, "v", dst, order.Float64)
+	out = grid.RowMajor(dst)
+	for i := 0; i < 2*quarter; i++ {
+		if got := m.Get(out.At(i), "v").(float64); got != float64(i) {
+			t.Fatalf("disjoint merged[%d] = %v", i, got)
+		}
+	}
+}
+
+func TestMergeAllEqual(t *testing.T) {
+	quarter := 64
+	a := make([]float64, quarter)
+	b := make([]float64, quarter)
+	for i := range a {
+		a[i], b[i] = 7, 7
+	}
+	m, tA, tB, dst := mergeSetup(a, b)
+	Merge(m, tA, tB, "v", dst, order.Float64)
+	out := grid.RowMajor(dst)
+	for i := 0; i < 2*quarter; i++ {
+		if got := m.Get(out.At(i), "v").(float64); got != 7 {
+			t.Fatalf("equal merged[%d] = %v", i, got)
+		}
+	}
+}
+
+func TestMergeDepthLogSquared(t *testing.T) {
+	// Lemma V.7: O(log^2 n) depth. Depth growth per quadrupling must
+	// shrink relative to total (sub-polynomial): check d(4n)/d(n) < 2.
+	rng := rand.New(rand.NewSource(22))
+	depthAt := func(quarter int) float64 {
+		a := sortedRandom(rng, quarter, 100)
+		b := sortedRandom(rng, quarter, 100)
+		m, tA, tB, dst := mergeSetup(a, b)
+		Merge(m, tA, tB, "v", dst, order.Float64)
+		return float64(m.Metrics().Depth)
+	}
+	if r := depthAt(1024) / depthAt(256); r >= 2 {
+		t.Errorf("merge depth quadrupling ratio %.2f not polylogarithmic", r)
+	}
+}
+
+func TestMergeEnergyThreeHalves(t *testing.T) {
+	// Lemma V.7: O(n^{3/2}) energy — quadrupling n should scale energy by
+	// about 8, certainly below 16.
+	rng := rand.New(rand.NewSource(23))
+	energyAt := func(quarter int) float64 {
+		a := sortedRandom(rng, quarter, 100)
+		b := sortedRandom(rng, quarter, 100)
+		m, tA, tB, dst := mergeSetup(a, b)
+		Merge(m, tA, tB, "v", dst, order.Float64)
+		return float64(m.Metrics().Energy)
+	}
+	r := energyAt(1024) / energyAt(256)
+	if r > 14 {
+		t.Errorf("merge energy quadrupling ratio %.1f too large for O(n^{3/2})", r)
+	}
+}
+
+func TestMergeSortSquares(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, side := range []int{1, 2, 4, 8, 16, 32} {
+		n := side * side
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 1000
+		}
+		m := machine.New()
+		r := grid.Square(machine.Coord{}, side)
+		tr := grid.RowMajor(r)
+		for i, v := range vals {
+			m.Set(tr.At(i), "v", v)
+		}
+		MergeSort(m, r, "v", order.Float64)
+		want := append([]float64(nil), vals...)
+		sort.Float64s(want)
+		for i := range want {
+			if got := m.Get(tr.At(i), "v").(float64); got != want[i] {
+				t.Fatalf("side %d: sorted[%d] = %v, want %v", side, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestMergeSortQuickPermutation(t *testing.T) {
+	f := func(raw []int16) bool {
+		side := 8
+		n := side * side
+		vals := make([]float64, n)
+		for i := range vals {
+			if i < len(raw) {
+				vals[i] = float64(raw[i])
+			}
+		}
+		m := machine.New()
+		r := grid.Square(machine.Coord{}, side)
+		tr := grid.RowMajor(r)
+		for i, v := range vals {
+			m.Set(tr.At(i), "v", v)
+		}
+		MergeSort(m, r, "v", order.Float64)
+		want := append([]float64(nil), vals...)
+		sort.Float64s(want)
+		for i := range want {
+			if m.Get(tr.At(i), "v").(float64) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSortAdversarialInputs(t *testing.T) {
+	side := 16
+	n := side * side
+	inputs := map[string]func(i int) float64{
+		"sorted":    func(i int) float64 { return float64(i) },
+		"reversed":  func(i int) float64 { return float64(n - i) },
+		"constant":  func(i int) float64 { return 42 },
+		"organpipe": func(i int) float64 { return float64(min(i, n-i)) },
+		"alternate": func(i int) float64 { return float64(i % 2) },
+	}
+	for name, gen := range inputs {
+		m := machine.New()
+		r := grid.Square(machine.Coord{}, side)
+		tr := grid.RowMajor(r)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = gen(i)
+			m.Set(tr.At(i), "v", vals[i])
+		}
+		MergeSort(m, r, "v", order.Float64)
+		sort.Float64s(vals)
+		for i := range vals {
+			if got := m.Get(tr.At(i), "v").(float64); got != vals[i] {
+				t.Fatalf("%s: sorted[%d] = %v, want %v", name, i, got, vals[i])
+			}
+		}
+	}
+}
+
+func TestMergeSortEnergyOptimal(t *testing.T) {
+	// Theorem V.8: O(n^{3/2}) energy.
+	rng := rand.New(rand.NewSource(25))
+	energyAt := func(side int) float64 {
+		n := side * side
+		m := machine.New()
+		r := grid.Square(machine.Coord{}, side)
+		tr := grid.RowMajor(r)
+		for i := 0; i < n; i++ {
+			m.Set(tr.At(i), "v", rng.Float64())
+		}
+		MergeSort(m, r, "v", order.Float64)
+		return float64(m.Metrics().Energy)
+	}
+	if r := energyAt(32) / energyAt(16); r > 14 {
+		t.Errorf("mergesort energy quadrupling ratio %.1f too large for O(n^{3/2})", r)
+	}
+}
+
+func TestMergeSortDistanceSqrt(t *testing.T) {
+	// Theorem V.8: O(sqrt n) distance — doubling the side should roughly
+	// double the distance, not square it.
+	rng := rand.New(rand.NewSource(26))
+	distAt := func(side int) float64 {
+		m := machine.New()
+		r := grid.Square(machine.Coord{}, side)
+		tr := grid.RowMajor(r)
+		for i := 0; i < side*side; i++ {
+			m.Set(tr.At(i), "v", rng.Float64())
+		}
+		MergeSort(m, r, "v", order.Float64)
+		return float64(m.Metrics().Distance)
+	}
+	// Ratios decline toward the asymptotic 2x per side-doubling (measured:
+	// 4.45 at 16->32, 3.04 at 32->64, 2.49 at 64->128); test past the
+	// smallest pre-asymptotic step.
+	if r := distAt(64) / distAt(32); r > 3.5 {
+		t.Errorf("mergesort distance doubling ratio %.1f too large for O(sqrt n)", r)
+	}
+}
+
+func TestSortToTrackZOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	side := 8
+	n := side * side
+	m := machine.New()
+	r := grid.Square(machine.Coord{}, side)
+	tr := grid.RowMajor(r)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64()
+		m.Set(tr.At(i), "v", vals[i])
+	}
+	zt := grid.ZOrder(r)
+	SortToTrack(m, r, "v", zt, "z", order.Float64)
+	sort.Float64s(vals)
+	for i := range vals {
+		if got := m.Get(zt.At(i), "z").(float64); got != vals[i] {
+			t.Fatalf("z-order sorted[%d] = %v, want %v", i, got, vals[i])
+		}
+	}
+}
+
+func TestPermuteReversalEnergy(t *testing.T) {
+	// Lemma V.1: the row-reversal permutation forces Omega(n^{3/2})
+	// energy. Check the measured energy of the direct routing against the
+	// n^{3/2} scale from below and above.
+	for _, side := range []int{8, 16, 32} {
+		n := side * side
+		m := machine.New()
+		r := grid.Square(machine.Coord{}, side)
+		tr := grid.RowMajor(r)
+		for i := 0; i < n; i++ {
+			m.Set(tr.At(i), "v", i)
+		}
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = n - 1 - i
+		}
+		Permute(m, tr, "v", tr, "v", perm)
+		e := float64(m.Metrics().Energy)
+		scale := float64(n) * float64(side)
+		if e < scale/4 || e > 4*scale {
+			t.Errorf("side %d: reversal energy %.0f not Theta(n^{3/2}) = ~%.0f", side, e, scale)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/order"
+)
+
+// MergeSort sorts the r.Size() elements stored in register reg on the square
+// region r (any layout-independent placement; the result is sorted in
+// row-major order of r). It is the energy-optimal 2-D Mergesort of Theorem
+// V.8:
+//
+//  1. recursively sort the four quadrants;
+//  2. merge the two top quadrants into the top half;
+//  3. merge the two bottom quadrants into the bottom half;
+//  4. merge the two halves into the full square.
+//
+// Costs: O(n^{3/2}) energy — matching the permutation lower bound of
+// Corollary V.2 — O(log^3 n) depth, and O(sqrt n) distance. The side of r
+// must be a power of two.
+func MergeSort(m *machine.Machine, r grid.Rect, reg machine.Reg, less order.Less) {
+	if !r.IsSquare() {
+		panic(fmt.Sprintf("core: MergeSort requires a square region, got %v", r))
+	}
+	n := r.Size()
+	if n <= 1 {
+		return
+	}
+	if n <= 16 {
+		// Base case: merge the row-major halves directly (the two halves
+		// need not be sorted here, but routeMergedSmall computes exact
+		// ranks over all elements, so the result is a full sort).
+		t := grid.RowMajor(r)
+		routeMergedSmall(m, grid.Slice(t, 0, n/2), grid.Slice(t, n/2, n-n/2), reg, t, less)
+		return
+	}
+	q := r.Quadrants()
+	// The quadrant sorts are data-independent, as are the two half
+	// merges; only the final merge depends on both halves.
+	m.Independent(
+		func() { MergeSort(m, q[0], reg, less) },
+		func() { MergeSort(m, q[1], reg, less) },
+		func() { MergeSort(m, q[2], reg, less) },
+		func() { MergeSort(m, q[3], reg, less) },
+	)
+	top, bottom := r.TopHalf(), r.BottomHalf()
+	m.Independent(
+		func() { Merge(m, grid.RowMajor(q[0]), grid.RowMajor(q[1]), reg, top, less) },
+		func() { Merge(m, grid.RowMajor(q[2]), grid.RowMajor(q[3]), reg, bottom, less) },
+	)
+	Merge(m, grid.RowMajor(top), grid.RowMajor(bottom), reg, r, less)
+}
+
+// SortToTrack sorts the elements of square region r as MergeSort and then
+// routes rank i to position i of the destination track (e.g. a Z-order
+// track for a follow-up scan, as in the SpMV pipeline). The extra
+// permutation costs O(n * diam) = O(n^{3/2}) energy and O(1) depth.
+func SortToTrack(m *machine.Machine, r grid.Rect, reg machine.Reg, dst grid.Track, dstReg machine.Reg, less order.Less) {
+	MergeSort(m, r, reg, less)
+	grid.Route(m, grid.RowMajor(r), reg, dst, dstReg, grid.Identity(r.Size()))
+}
+
+// Permute routes element i of src to position perm[i] of dst, each element
+// travelling directly. Sorting implements arbitrary permutations, so the
+// permutation lower bound (Lemma V.1: Omega(max(w,h)^2 * min(w,h)) energy,
+// i.e. Omega(n^{3/2}) on a square) transfers to sorting; this primitive is
+// what the lower-bound experiments measure.
+func Permute(m *machine.Machine, src grid.Track, reg machine.Reg, dst grid.Track, dstReg machine.Reg, perm []int) {
+	grid.Route(m, src, reg, dst, dstReg, perm)
+}

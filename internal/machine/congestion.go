@@ -1,0 +1,85 @@
+package machine
+
+// Congestion tracking. The model's energy metric is the *total* load on
+// the communication network; for architects the complementary quantity is
+// the *maximum* load on any single mesh link. This opt-in tracker routes
+// every message along the dimension-ordered (X-then-Y) path a mesh NoC
+// would use and counts traversals per directed link. It is an extension
+// beyond the paper's metrics, used by the congestion experiment and the
+// visualization tool; tracking costs O(distance) bookkeeping per message,
+// so it is off by default.
+
+// linkDir identifies the four mesh directions.
+type linkDir uint8
+
+const (
+	linkEast linkDir = iota
+	linkWest
+	linkSouth
+	linkNorth
+)
+
+type link struct {
+	from Coord
+	dir  linkDir
+}
+
+// congestion holds per-link traversal counts.
+type congestion struct {
+	load map[link]int64
+	peak int64
+}
+
+// EnableCongestionTracking starts counting per-link traffic under
+// dimension-ordered (column-first, then row) routing. Call before running
+// the algorithm of interest.
+func (m *Machine) EnableCongestionTracking() {
+	m.cong = &congestion{load: make(map[link]int64)}
+}
+
+// MaxCongestion returns the highest traversal count over all directed mesh
+// links, or 0 if tracking is disabled.
+func (m *Machine) MaxCongestion() int64 {
+	if m.cong == nil {
+		return 0
+	}
+	return m.cong.peak
+}
+
+// TotalLinkTraversals returns the sum of link traversals — with XY routing
+// this equals the energy, which tests use as a consistency check.
+func (m *Machine) TotalLinkTraversals() int64 {
+	if m.cong == nil {
+		return 0
+	}
+	var total int64
+	for _, v := range m.cong.load {
+		total += v
+	}
+	return total
+}
+
+// routeMessage walks the X-then-Y path from a to b, bumping link loads.
+func (c *congestion) routeMessage(a, b Coord) {
+	cur := a
+	step := func(d linkDir, dr, dc int) {
+		l := link{from: cur, dir: d}
+		c.load[l]++
+		if c.load[l] > c.peak {
+			c.peak = c.load[l]
+		}
+		cur = cur.Add(dr, dc)
+	}
+	for cur.Col < b.Col {
+		step(linkEast, 0, 1)
+	}
+	for cur.Col > b.Col {
+		step(linkWest, 0, -1)
+	}
+	for cur.Row < b.Row {
+		step(linkSouth, 1, 0)
+	}
+	for cur.Row > b.Row {
+		step(linkNorth, -1, 0)
+	}
+}

@@ -1,0 +1,501 @@
+// Package machine implements the Spatial Computer Model as a cost-exact
+// simulator.
+//
+// The model (Section III of the paper): an unbounded 2-D grid of processing
+// elements (PEs), each with O(1) words of local memory. A message from
+// p_{i,j} to p_{x,y} has distance |x-i| + |y-j| (Manhattan). The cost of a
+// computation is measured by three metrics:
+//
+//   - Energy: the sum of the distances of all messages sent. It measures the
+//     total load on the on-chip network.
+//   - Depth: the longest chain of consecutively dependent messages. Low
+//     depth means high parallelism.
+//   - Distance: the largest total distance along any chain of dependent
+//     messages. It measures the wire latency of the computation.
+//
+// Algorithms are expressed as sequences of Send operations. The machine
+// maintains per-PE causality clocks tracking, for every PE, the longest
+// dependent-message chain that ends there (independently by hop count and by
+// summed distance). A message's chain extends the sender's clock; delivery
+// merges it into the receiver's clock. Sends do not advance the sender's
+// clock, so a PE can emit many mutually independent messages, matching the
+// model's definition of dependent-message chains. Local computation is free:
+// the model counts messages only.
+package machine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Coord identifies the processing element p_{Row,Col} on the grid. The grid
+// is unbounded in all four directions; negative coordinates are valid.
+type Coord struct {
+	Row, Col int
+}
+
+func (c Coord) String() string { return fmt.Sprintf("p(%d,%d)", c.Row, c.Col) }
+
+// Add returns the coordinate offset by (dr, dc).
+func (c Coord) Add(dr, dc int) Coord { return Coord{c.Row + dr, c.Col + dc} }
+
+// Dist returns the Manhattan distance between two coordinates, which is the
+// model's cost of sending one message between them.
+func Dist(a, b Coord) int64 {
+	return absInt64(a.Row-b.Row) + absInt64(a.Col-b.Col)
+}
+
+func absInt64(x int) int64 {
+	if x < 0 {
+		return int64(-x)
+	}
+	return int64(x)
+}
+
+// Value is the payload of a message or register. Payloads must be
+// word-sized: a scalar or a constant-size tuple (the model's messages carry
+// O(1) words).
+type Value = any
+
+// Reg names a register in a PE's O(1)-sized register file.
+type Reg = string
+
+// clock is the causality clock of a PE: the longest dependent-message chain
+// ending at the PE, measured in hops (depth) and in summed Manhattan
+// distance (dist). The two maxima may be achieved by different chains; both
+// are exact per the model's definitions.
+type clock struct {
+	depth int64
+	dist  int64
+}
+
+func (c *clock) merge(depth, dist int64) {
+	if depth > c.depth {
+		c.depth = depth
+	}
+	if dist > c.dist {
+		c.dist = dist
+	}
+}
+
+// regSlot is one named register. PEs hold O(1) registers, so the register
+// file is a small slice scanned linearly — much faster than a map for the
+// simulator's hot path.
+type regSlot struct {
+	name Reg
+	v    Value
+}
+
+// pe is the state of one processing element.
+type pe struct {
+	regs    []regSlot
+	clk     clock
+	peakReg int
+}
+
+func (p *pe) lookup(name Reg) (Value, bool) {
+	for i := range p.regs {
+		if p.regs[i].name == name {
+			return p.regs[i].v, true
+		}
+	}
+	return nil, false
+}
+
+// set stores v, reusing an existing slot when present.
+func (p *pe) set(name Reg, v Value) {
+	for i := range p.regs {
+		if p.regs[i].name == name {
+			p.regs[i].v = v
+			return
+		}
+	}
+	p.regs = append(p.regs, regSlot{name, v})
+}
+
+func (p *pe) del(name Reg) {
+	for i := range p.regs {
+		if p.regs[i].name == name {
+			last := len(p.regs) - 1
+			p.regs[i] = p.regs[last]
+			p.regs[last] = regSlot{}
+			p.regs = p.regs[:last]
+			return
+		}
+	}
+}
+
+// Metrics is a snapshot of the accumulated cost counters of a Machine.
+type Metrics struct {
+	// Energy is the total Manhattan distance travelled by all messages.
+	Energy int64
+	// Depth is the longest chain of dependent messages, in messages.
+	Depth int64
+	// Distance is the largest summed distance of any dependent chain.
+	Distance int64
+	// Messages is the total number of messages sent.
+	Messages int64
+	// PeakMemory is the largest number of registers simultaneously live on
+	// any single PE. The model requires this to be O(1), i.e. independent
+	// of the input size.
+	PeakMemory int
+}
+
+// Sub returns the metrics accumulated between an earlier snapshot prev and
+// this one. Depth, Distance and PeakMemory are absolute maxima and are
+// returned as-is (use a fresh Machine to isolate a single computation).
+func (m Metrics) Sub(prev Metrics) Metrics {
+	return Metrics{
+		Energy:     m.Energy - prev.Energy,
+		Depth:      m.Depth,
+		Distance:   m.Distance,
+		Messages:   m.Messages - prev.Messages,
+		PeakMemory: m.PeakMemory,
+	}
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("energy=%d depth=%d distance=%d messages=%d peakMem=%d",
+		m.Energy, m.Depth, m.Distance, m.Messages, m.PeakMemory)
+}
+
+// Tracer receives a callback for every message sent, for visualization and
+// debugging. It must not mutate the machine.
+type Tracer func(from, to Coord, v Value)
+
+// Machine simulates the Spatial Computer Model. The zero value is not
+// usable; construct with New.
+type Machine struct {
+	pes map[Coord]*pe
+
+	energy   int64
+	messages int64
+	maxDepth int64
+	maxDist  int64
+	peakMem  int
+
+	// memLimit, when positive, bounds the number of registers per PE;
+	// exceeding it panics. Algorithms in the paper assume O(1) memory per
+	// PE, and tests use the limit to enforce the contract.
+	memLimit int
+
+	// indepLogs is the stack of active Independent branches. Each map
+	// records, per PE touched by the branch, the clock the PE had when
+	// the branch first delivered to it, so the branch's clock effects can
+	// be rolled back and merged at the join.
+	indepLogs []map[Coord]clock
+
+	// cong, when non-nil, tracks per-link traffic (see congestion.go).
+	cong *congestion
+
+	tracer Tracer
+}
+
+// New returns an empty machine with unlimited per-PE memory accounting
+// (peaks are still recorded).
+func New() *Machine {
+	return &Machine{pes: make(map[Coord]*pe)}
+}
+
+// NewWithMemoryLimit returns a machine that panics if any PE ever holds more
+// than limit registers. Use it in tests to certify the O(1)-memory contract.
+func NewWithMemoryLimit(limit int) *Machine {
+	m := New()
+	m.memLimit = limit
+	return m
+}
+
+// SetTracer installs a message tracer (nil removes it).
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+func (m *Machine) at(c Coord) *pe {
+	p, ok := m.pes[c]
+	if !ok {
+		p = &pe{regs: make([]regSlot, 0, 4)}
+		m.pes[c] = p
+	}
+	return p
+}
+
+// Metrics returns the current cost counters.
+func (m *Machine) Metrics() Metrics {
+	return Metrics{
+		Energy:     m.energy,
+		Depth:      m.maxDepth,
+		Distance:   m.maxDist,
+		Messages:   m.messages,
+		PeakMemory: m.peakMem,
+	}
+}
+
+// ResetClocks zeroes all causality clocks and the depth/distance maxima
+// while keeping register contents and energy. Use it to measure the depth of
+// a later phase in isolation.
+func (m *Machine) ResetClocks() {
+	for _, p := range m.pes {
+		p.clk = clock{}
+	}
+	m.maxDepth, m.maxDist = 0, 0
+}
+
+// Set stores v into register r of PE c without any communication. It models
+// local computation (free in this model) or initial input placement.
+func (m *Machine) Set(c Coord, r Reg, v Value) {
+	p := m.at(c)
+	p.set(r, v)
+	m.noteMem(c, p)
+}
+
+// Get returns the value in register r of PE c. It panics if the register is
+// empty: reading a value a PE never received is an algorithmic bug.
+func (m *Machine) Get(c Coord, r Reg) Value {
+	p, ok := m.pes[c]
+	if !ok {
+		panic(fmt.Sprintf("machine: read from untouched PE %v register %q", c, r))
+	}
+	v, ok := p.lookup(r)
+	if !ok {
+		panic(fmt.Sprintf("machine: read from empty register %q of %v", r, c))
+	}
+	return v
+}
+
+// Lookup returns the value in register r of PE c, with ok=false if empty.
+func (m *Machine) Lookup(c Coord, r Reg) (Value, bool) {
+	p, ok := m.pes[c]
+	if !ok {
+		return nil, false
+	}
+	v, ok := p.lookup(r)
+	return v, ok
+}
+
+// Del frees register r of PE c. Algorithms free scratch registers so the
+// per-PE memory peak reflects their true O(1) working set.
+func (m *Machine) Del(c Coord, r Reg) {
+	if p, ok := m.pes[c]; ok {
+		p.del(r)
+	}
+}
+
+// Has reports whether register r of PE c holds a value.
+func (m *Machine) Has(c Coord, r Reg) bool {
+	_, ok := m.Lookup(c, r)
+	return ok
+}
+
+// Send transmits the value in register srcReg of PE from into register
+// dstReg of PE to, paying Manhattan-distance energy and extending the
+// dependent-message chain. A send from a PE to itself is free (it is local
+// computation).
+func (m *Machine) Send(from Coord, srcReg Reg, to Coord, dstReg Reg) {
+	v := m.Get(from, srcReg)
+	m.SendValue(from, to, dstReg, v)
+}
+
+// SendValue transmits v, a value computed locally at from, into register
+// dstReg of to. The chain semantics are identical to Send.
+func (m *Machine) SendValue(from, to Coord, dstReg Reg, v Value) {
+	if from == to {
+		m.Set(to, dstReg, v)
+		return
+	}
+	d := Dist(from, to)
+	src := m.at(from)
+	msgDepth := src.clk.depth + 1
+	msgDist := src.clk.dist + d
+
+	m.energy += d
+	m.messages++
+	if m.cong != nil {
+		m.cong.routeMessage(from, to)
+	}
+	if msgDepth > m.maxDepth {
+		m.maxDepth = msgDepth
+	}
+	if msgDist > m.maxDist {
+		m.maxDist = msgDist
+	}
+
+	dst := m.at(to)
+	m.noteTouch(to, dst)
+	dst.clk.merge(msgDepth, msgDist)
+	dst.set(dstReg, v)
+	m.noteMem(to, dst)
+
+	if m.tracer != nil {
+		m.tracer(from, to, v)
+	}
+}
+
+// Move is Send followed by freeing the source register: the value migrates.
+func (m *Machine) Move(from Coord, srcReg Reg, to Coord, dstReg Reg) {
+	m.Send(from, srcReg, to, dstReg)
+	if from != to || srcReg != dstReg {
+		m.Del(from, srcReg)
+	}
+}
+
+// Independent executes the given tasks as logically parallel branches of
+// the computation: message chains inside one branch do not extend chains of
+// another, even when branches relay through the same PEs. The depth and
+// distance metrics measure the longest chain through the resulting DAG
+// (each branch starts from the clocks at the fork; the join merges the
+// branches' clock maxima), matching the paper's definition of depth as the
+// longest chain of consecutively dependent messages.
+//
+// Algorithms use it for recursions whose siblings are data-independent —
+// e.g. the four quadrant sorts of the 2-D mergesort — where a sequential
+// simulation would otherwise serialize unrelated chains through shared
+// scratch PEs. Energy accounting is unaffected. Branches still execute
+// sequentially in program order, so they must not communicate through
+// registers either.
+func (m *Machine) Independent(tasks ...func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	if len(tasks) == 1 {
+		tasks[0]()
+		return
+	}
+	merged := make(map[Coord]clock)
+	for _, task := range tasks {
+		log := make(map[Coord]clock)
+		m.indepLogs = append(m.indepLogs, log)
+		task()
+		m.indepLogs = m.indepLogs[:len(m.indepLogs)-1]
+		for c, pre := range log {
+			p := m.pes[c]
+			end := merged[c]
+			end.merge(p.clk.depth, p.clk.dist)
+			merged[c] = end
+			p.clk = pre // roll back for the next branch
+		}
+	}
+	for c, clk := range merged {
+		p := m.at(c)
+		// The rolled-back clock is what the fork point left behind; the
+		// join raises it to the branch maxima. Record the touch in any
+		// enclosing branch so nested forks roll back correctly.
+		m.noteTouch(c, p)
+		p.clk.merge(clk.depth, clk.dist)
+	}
+}
+
+// noteTouch records PE p's current clock in every active Independent branch
+// log that has not seen it yet. Must be called before any clock mutation.
+func (m *Machine) noteTouch(c Coord, p *pe) {
+	for _, log := range m.indepLogs {
+		if _, ok := log[c]; !ok {
+			log[c] = p.clk
+		}
+	}
+}
+
+// Par executes a round of logically simultaneous sends: every message
+// issued through the callback extends its sender's chain as of the start of
+// the round, so deliveries within the round never chain to other sends of
+// the same round. Algorithms use it for parallel steps in which many PEs
+// act at once (compare-exchange levels, permutation routing, PRAM steps).
+// Deliveries are applied in issue order; if two messages target the same
+// register, the later one wins.
+func (m *Machine) Par(round func(send func(from, to Coord, dstReg Reg, v Value))) {
+	type delivery struct {
+		to     Coord
+		dstReg Reg
+		v      Value
+		depth  int64
+		dist   int64
+	}
+	var pending []delivery
+	snapshot := make(map[Coord]clock)
+	send := func(from, to Coord, dstReg Reg, v Value) {
+		if from == to {
+			pending = append(pending, delivery{to: to, dstReg: dstReg, v: v})
+			return
+		}
+		clk, ok := snapshot[from]
+		if !ok {
+			clk = m.at(from).clk
+			snapshot[from] = clk
+		}
+		d := Dist(from, to)
+		m.energy += d
+		m.messages++
+		if m.cong != nil {
+			m.cong.routeMessage(from, to)
+		}
+		msg := delivery{to: to, dstReg: dstReg, v: v, depth: clk.depth + 1, dist: clk.dist + d}
+		if msg.depth > m.maxDepth {
+			m.maxDepth = msg.depth
+		}
+		if msg.dist > m.maxDist {
+			m.maxDist = msg.dist
+		}
+		pending = append(pending, msg)
+		if m.tracer != nil {
+			m.tracer(from, to, v)
+		}
+	}
+	round(send)
+	for _, msg := range pending {
+		dst := m.at(msg.to)
+		m.noteTouch(msg.to, dst)
+		dst.clk.merge(msg.depth, msg.dist)
+		dst.set(msg.dstReg, msg.v)
+		m.noteMem(msg.to, dst)
+	}
+}
+
+// Exchange swaps the contents of register r between PEs a and b using two
+// messages (each PE sends its value; neither send depends on the other).
+func (m *Machine) Exchange(a, b Coord, r Reg) {
+	va := m.Get(a, r)
+	vb := m.Get(b, r)
+	m.Par(func(send func(from, to Coord, dstReg Reg, v Value)) {
+		send(a, b, r, va)
+		send(b, a, r, vb)
+	})
+}
+
+func (m *Machine) noteMem(c Coord, p *pe) {
+	n := len(p.regs)
+	if n > p.peakReg {
+		p.peakReg = n
+	}
+	if n > m.peakMem {
+		m.peakMem = n
+	}
+	if m.memLimit > 0 && n > m.memLimit {
+		panic(fmt.Sprintf("machine: PE %v exceeded memory limit: %d registers > limit %d", c, n, m.memLimit))
+	}
+}
+
+// Clock returns the causality clock (depth, distance) of PE c, i.e. the
+// longest dependent-message chain ending there.
+func (m *Machine) Clock(c Coord) (depth, dist int64) {
+	p, ok := m.pes[c]
+	if !ok {
+		return 0, 0
+	}
+	return p.clk.depth, p.clk.dist
+}
+
+// TouchedPEs returns the number of PEs that have ever held a value or
+// participated in a message.
+func (m *Machine) TouchedPEs() int { return len(m.pes) }
+
+// Registers returns a sorted list of the live register names of PE c,
+// mainly for debugging and tests.
+func (m *Machine) Registers(c Coord) []Reg {
+	p, ok := m.pes[c]
+	if !ok {
+		return nil
+	}
+	names := make([]Reg, 0, len(p.regs))
+	for i := range p.regs {
+		names = append(names, p.regs[i].name)
+	}
+	sort.Strings(names)
+	return names
+}

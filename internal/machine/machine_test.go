@@ -1,0 +1,404 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		a, b Coord
+		want int64
+	}{
+		{Coord{0, 0}, Coord{0, 0}, 0},
+		{Coord{0, 0}, Coord{3, 4}, 7},
+		{Coord{-2, 5}, Coord{1, 1}, 7},
+		{Coord{10, 10}, Coord{10, 11}, 1},
+	}
+	for _, c := range cases {
+		if got := Dist(c.a, c.b); got != c.want {
+			t.Errorf("Dist(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Dist(c.b, c.a); got != c.want {
+			t.Errorf("Dist not symmetric for %v,%v", c.a, c.b)
+		}
+	}
+}
+
+func TestDistQuickTriangle(t *testing.T) {
+	f := func(ar, ac, br, bc, cr, cc int16) bool {
+		a := Coord{int(ar), int(ac)}
+		b := Coord{int(br), int(bc)}
+		c := Coord{int(cr), int(cc)}
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSendAccountsEnergy(t *testing.T) {
+	m := New()
+	m.Set(Coord{0, 0}, "v", 42)
+	m.Send(Coord{0, 0}, "v", Coord{3, 4}, "v")
+	got := m.Metrics()
+	if got.Energy != 7 || got.Messages != 1 || got.Depth != 1 || got.Distance != 7 {
+		t.Errorf("metrics after one send: %v", got)
+	}
+	if v := m.Get(Coord{3, 4}, "v"); v != 42 {
+		t.Errorf("delivered value %v", v)
+	}
+}
+
+func TestSelfSendIsFree(t *testing.T) {
+	m := New()
+	m.Set(Coord{1, 1}, "a", 5)
+	m.Send(Coord{1, 1}, "a", Coord{1, 1}, "b")
+	got := m.Metrics()
+	if got.Energy != 0 || got.Messages != 0 || got.Depth != 0 {
+		t.Errorf("self send should be free, got %v", got)
+	}
+	if v := m.Get(Coord{1, 1}, "b"); v != 5 {
+		t.Errorf("self send lost value: %v", v)
+	}
+}
+
+func TestChainDepthAndDistance(t *testing.T) {
+	// A relay chain p0 -> p1 -> p2 -> p3 along a row has depth 3 and
+	// distance = total path length.
+	m := New()
+	m.Set(Coord{0, 0}, "v", 1.0)
+	m.Send(Coord{0, 0}, "v", Coord{0, 2}, "v")
+	m.Send(Coord{0, 2}, "v", Coord{0, 5}, "v")
+	m.Send(Coord{0, 5}, "v", Coord{0, 6}, "v")
+	got := m.Metrics()
+	if got.Depth != 3 {
+		t.Errorf("chain depth = %d, want 3", got.Depth)
+	}
+	if got.Distance != 6 {
+		t.Errorf("chain distance = %d, want 6", got.Distance)
+	}
+	if got.Energy != 6 {
+		t.Errorf("chain energy = %d, want 6", got.Energy)
+	}
+}
+
+func TestIndependentSendsDoNotChain(t *testing.T) {
+	// A PE that emits k messages without receiving in between produces k
+	// independent chains of depth 1 (the model's dependent-chain
+	// definition; see DESIGN.md).
+	m := New()
+	root := Coord{0, 0}
+	m.Set(root, "v", 7)
+	for i := 1; i <= 10; i++ {
+		m.Send(root, "v", Coord{0, i}, "v")
+	}
+	got := m.Metrics()
+	if got.Depth != 1 {
+		t.Errorf("independent sends depth = %d, want 1", got.Depth)
+	}
+	if got.Distance != 10 {
+		t.Errorf("distance = %d, want 10 (longest single message)", got.Distance)
+	}
+	if got.Energy != 55 {
+		t.Errorf("energy = %d, want 55", got.Energy)
+	}
+}
+
+func TestBinaryTreeDepthIsLogarithmic(t *testing.T) {
+	// A binary fan-out over 2^k leaves must measure depth exactly k.
+	m := New()
+	m.Set(Coord{0, 0}, "v", 1)
+	// Doubling broadcast along a row: at step s, PEs 0..2^s-1 each send to
+	// their partner at offset 2^s.
+	n := 64
+	for s := 1; s < n; s *= 2 {
+		for i := 0; i < s; i++ {
+			m.Send(Coord{0, i}, "v", Coord{0, i + s}, "v")
+		}
+	}
+	got := m.Metrics()
+	if got.Depth != 6 {
+		t.Errorf("doubling broadcast depth = %d, want 6", got.Depth)
+	}
+}
+
+func TestReceiveThenSendChains(t *testing.T) {
+	// After receiving, a PE's subsequent sends extend the chain.
+	m := New()
+	m.Set(Coord{0, 0}, "v", 1)
+	m.Send(Coord{0, 0}, "v", Coord{0, 1}, "v")
+	m.Send(Coord{0, 1}, "v", Coord{0, 2}, "a")
+	m.Send(Coord{0, 1}, "v", Coord{0, 3}, "b")
+	got := m.Metrics()
+	if got.Depth != 2 {
+		t.Errorf("depth = %d, want 2", got.Depth)
+	}
+	if got.Distance != 3 { // 1 + 2 via the send to (0,3)
+		t.Errorf("distance = %d, want 3", got.Distance)
+	}
+}
+
+func TestExchange(t *testing.T) {
+	m := New()
+	a, b := Coord{0, 0}, Coord{0, 4}
+	m.Set(a, "x", "left")
+	m.Set(b, "x", "right")
+	m.Exchange(a, b, "x")
+	if m.Get(a, "x") != "right" || m.Get(b, "x") != "left" {
+		t.Error("exchange did not swap values")
+	}
+	got := m.Metrics()
+	if got.Energy != 8 || got.Messages != 2 {
+		t.Errorf("exchange cost %v, want energy 8 messages 2", got)
+	}
+	if got.Depth != 1 {
+		t.Errorf("exchange depth %d, want 1 (the two sends are independent)", got.Depth)
+	}
+}
+
+func TestMoveFreesSource(t *testing.T) {
+	m := New()
+	m.Set(Coord{0, 0}, "v", 9)
+	m.Move(Coord{0, 0}, "v", Coord{2, 0}, "v")
+	if m.Has(Coord{0, 0}, "v") {
+		t.Error("Move left source register live")
+	}
+	if m.Get(Coord{2, 0}, "v") != 9 {
+		t.Error("Move lost the value")
+	}
+}
+
+func TestGetEmptyPanics(t *testing.T) {
+	m := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("Get on empty register did not panic")
+		}
+	}()
+	m.Get(Coord{5, 5}, "nope")
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	m := New()
+	c := Coord{0, 0}
+	m.Set(c, "a", 1)
+	m.Set(c, "b", 2)
+	m.Set(c, "c", 3)
+	if got := m.Metrics().PeakMemory; got != 3 {
+		t.Errorf("peak memory = %d, want 3", got)
+	}
+	m.Del(c, "a")
+	m.Del(c, "b")
+	m.Set(c, "d", 4)
+	if got := m.Metrics().PeakMemory; got != 3 {
+		t.Errorf("peak memory after frees = %d, want still 3", got)
+	}
+}
+
+func TestMemoryLimitEnforced(t *testing.T) {
+	m := NewWithMemoryLimit(2)
+	c := Coord{0, 0}
+	m.Set(c, "a", 1)
+	m.Set(c, "b", 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("memory limit violation did not panic")
+		}
+	}()
+	m.Set(c, "c", 3)
+}
+
+func TestResetClocks(t *testing.T) {
+	m := New()
+	m.Set(Coord{0, 0}, "v", 1)
+	m.Send(Coord{0, 0}, "v", Coord{0, 9}, "v")
+	m.ResetClocks()
+	if got := m.Metrics(); got.Depth != 0 || got.Distance != 0 {
+		t.Errorf("after reset: %v", got)
+	}
+	if got := m.Metrics(); got.Energy != 9 {
+		t.Errorf("reset must keep energy, got %v", got)
+	}
+	m.Send(Coord{0, 9}, "v", Coord{0, 10}, "v")
+	if got := m.Metrics(); got.Depth != 1 || got.Distance != 1 {
+		t.Errorf("post-reset chain: %v", got)
+	}
+}
+
+func TestMetricsSub(t *testing.T) {
+	m := New()
+	m.Set(Coord{0, 0}, "v", 1)
+	m.Send(Coord{0, 0}, "v", Coord{0, 3}, "v")
+	before := m.Metrics()
+	m.Send(Coord{0, 3}, "v", Coord{0, 5}, "v")
+	diff := m.Metrics().Sub(before)
+	if diff.Energy != 2 || diff.Messages != 1 {
+		t.Errorf("Sub = %v", diff)
+	}
+}
+
+func TestTracerSeesMessages(t *testing.T) {
+	m := New()
+	var n int
+	m.SetTracer(func(from, to Coord, v Value) { n++ })
+	m.Set(Coord{0, 0}, "v", 1)
+	m.Send(Coord{0, 0}, "v", Coord{1, 1}, "v")
+	m.Send(Coord{1, 1}, "v", Coord{2, 2}, "v")
+	if n != 2 {
+		t.Errorf("tracer saw %d messages, want 2", n)
+	}
+}
+
+func TestClockQuery(t *testing.T) {
+	m := New()
+	m.Set(Coord{0, 0}, "v", 1)
+	m.Send(Coord{0, 0}, "v", Coord{0, 4}, "v")
+	d, dist := m.Clock(Coord{0, 4})
+	if d != 1 || dist != 4 {
+		t.Errorf("clock = (%d,%d), want (1,4)", d, dist)
+	}
+	d, dist = m.Clock(Coord{9, 9})
+	if d != 0 || dist != 0 {
+		t.Errorf("untouched clock = (%d,%d)", d, dist)
+	}
+}
+
+func TestRegistersListing(t *testing.T) {
+	m := New()
+	c := Coord{0, 0}
+	m.Set(c, "b", 1)
+	m.Set(c, "a", 2)
+	got := m.Registers(c)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Registers = %v", got)
+	}
+	if m.Registers(Coord{9, 9}) != nil {
+		t.Error("Registers of untouched PE should be nil")
+	}
+}
+
+func TestParRoundIndependence(t *testing.T) {
+	// In a parallel round, a PE that receives a message and then sends one
+	// must not chain the two: both chains extend pre-round clocks.
+	m := New()
+	m.Set(Coord{0, 0}, "v", 1)
+	m.Set(Coord{0, 1}, "v", 2)
+	m.Par(func(send func(from, to Coord, dstReg Reg, v Value)) {
+		send(Coord{0, 0}, Coord{0, 1}, "in", 1)
+		send(Coord{0, 1}, Coord{0, 2}, "in", 2)
+	})
+	if got := m.Metrics(); got.Depth != 1 {
+		t.Errorf("par round depth = %d, want 1", got.Depth)
+	}
+	// A subsequent send from a round receiver chains onto the round.
+	m.Send(Coord{0, 2}, "in", Coord{0, 3}, "in")
+	if got := m.Metrics(); got.Depth != 2 {
+		t.Errorf("post-round depth = %d, want 2", got.Depth)
+	}
+}
+
+func TestParSelfSendFree(t *testing.T) {
+	m := New()
+	m.Par(func(send func(from, to Coord, dstReg Reg, v Value)) {
+		send(Coord{1, 1}, Coord{1, 1}, "x", 9)
+	})
+	if got := m.Metrics(); got.Energy != 0 || got.Messages != 0 {
+		t.Errorf("self send in Par not free: %v", got)
+	}
+	if m.Get(Coord{1, 1}, "x") != 9 {
+		t.Error("self send in Par lost value")
+	}
+}
+
+func TestParLastWriteWins(t *testing.T) {
+	m := New()
+	m.Par(func(send func(from, to Coord, dstReg Reg, v Value)) {
+		send(Coord{0, 0}, Coord{2, 2}, "x", "first")
+		send(Coord{1, 1}, Coord{2, 2}, "x", "second")
+	})
+	if got := m.Get(Coord{2, 2}, "x"); got != "second" {
+		t.Errorf("last write should win, got %v", got)
+	}
+}
+
+func TestIndependentBranchesDoNotChain(t *testing.T) {
+	// Two branches relay through the same PE; their chains must not
+	// concatenate, and the join must keep the max.
+	m := New()
+	shared := Coord{5, 5}
+	m.Set(Coord{0, 0}, "v", 1)
+	m.Set(Coord{9, 9}, "v", 2)
+	m.Independent(
+		func() {
+			m.Send(Coord{0, 0}, "v", shared, "a")
+			m.Send(shared, "a", Coord{0, 1}, "a")
+		},
+		func() {
+			m.Send(Coord{9, 9}, "v", shared, "b")
+			m.Send(shared, "b", Coord{9, 8}, "b")
+		},
+	)
+	if d := m.Metrics().Depth; d != 2 {
+		t.Errorf("independent branches depth = %d, want 2", d)
+	}
+	// A later send from the shared PE chains onto the join's maximum
+	// receive-clock (depth 1 — outgoing sends never advance the sender).
+	m.Send(shared, "a", Coord{5, 6}, "c")
+	if d := m.Metrics().Depth; d != 2 {
+		t.Errorf("post-join depth = %d, want 2", d)
+	}
+}
+
+func TestIndependentNested(t *testing.T) {
+	m := New()
+	hub := Coord{0, 0}
+	m.Set(hub, "v", 1)
+	m.Independent(
+		func() {
+			m.Independent(
+				func() { m.Send(hub, "v", Coord{0, 1}, "x") },
+				func() { m.Send(hub, "v", Coord{0, 2}, "x") },
+			)
+		},
+		func() { m.Send(hub, "v", Coord{0, 3}, "x") },
+	)
+	if d := m.Metrics().Depth; d != 1 {
+		t.Errorf("nested independent depth = %d, want 1", d)
+	}
+}
+
+func TestIndependentSingleAndEmpty(t *testing.T) {
+	m := New()
+	m.Independent()
+	ran := false
+	m.Independent(func() { ran = true })
+	if !ran {
+		t.Error("single-task Independent did not run the task")
+	}
+}
+
+func TestTouchedPEs(t *testing.T) {
+	m := New()
+	if m.TouchedPEs() != 0 {
+		t.Error("fresh machine has touched PEs")
+	}
+	m.Set(Coord{0, 0}, "v", 1)
+	m.Send(Coord{0, 0}, "v", Coord{1, 1}, "v")
+	if got := m.TouchedPEs(); got != 2 {
+		t.Errorf("TouchedPEs = %d, want 2", got)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	s := Metrics{Energy: 5, Depth: 2, Distance: 3, Messages: 1, PeakMemory: 4}.String()
+	for _, want := range []string{"energy=5", "depth=2", "distance=3", "messages=1", "peakMem=4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Metrics.String() = %q missing %q", s, want)
+		}
+	}
+	if got := (Coord{1, 2}).String(); got != "p(1,2)" {
+		t.Errorf("Coord.String() = %q", got)
+	}
+}

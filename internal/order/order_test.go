@@ -1,0 +1,37 @@
+package order
+
+import "testing"
+
+func TestComparators(t *testing.T) {
+	if !Float64(1.0, 2.0) || Float64(2.0, 1.0) || Float64(1.0, 1.0) {
+		t.Error("Float64 comparator wrong")
+	}
+	if !Int64(int64(1), int64(2)) || Int64(int64(2), int64(2)) {
+		t.Error("Int64 comparator wrong")
+	}
+	if !Int(1, 2) || Int(3, 2) {
+		t.Error("Int comparator wrong")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	desc := Reverse(Float64)
+	if !desc(2.0, 1.0) || desc(1.0, 2.0) || desc(1.0, 1.0) {
+		t.Error("Reverse comparator wrong")
+	}
+}
+
+func TestKVLess(t *testing.T) {
+	a := KV{Key: 1, Seq: 5}
+	b := KV{Key: 2, Seq: 0}
+	c := KV{Key: 1, Seq: 6}
+	if !KVLess(a, b) || KVLess(b, a) {
+		t.Error("KVLess key ordering wrong")
+	}
+	if !KVLess(a, c) || KVLess(c, a) {
+		t.Error("KVLess seq tie-break wrong")
+	}
+	if KVLess(a, a) {
+		t.Error("KVLess not irreflexive")
+	}
+}

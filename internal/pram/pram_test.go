@@ -1,0 +1,290 @@
+package pram
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func floatCells(vals []float64) []machine.Value {
+	out := make([]machine.Value, len(vals))
+	for i, v := range vals {
+		out[i] = v
+	}
+	return out
+}
+
+func TestTreeSumEREW(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 8, 64} {
+		vals := make([]float64, n)
+		want := 0.0
+		for i := range vals {
+			vals[i] = rng.Float64()
+			want += vals[i]
+		}
+		m := machine.New()
+		sim := New(m, TreeSum{N: n}, EREW, floatCells(vals))
+		if err := sim.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got := sim.Memory()[0].(float64)
+		if d := got - want; d > 1e-9 || d < -1e-9 {
+			t.Errorf("n=%d: tree sum %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestTreeSumCRCWSameResult(t *testing.T) {
+	// An EREW program runs unchanged (and correctly) under the CRCW
+	// simulation.
+	rng := rand.New(rand.NewSource(2))
+	n := 16
+	vals := make([]float64, n)
+	want := 0.0
+	for i := range vals {
+		vals[i] = rng.Float64()
+		want += vals[i]
+	}
+	m := machine.New()
+	sim := New(m, TreeSum{N: n}, CRCW, floatCells(vals))
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := sim.Memory()[0].(float64)
+	if d := got - want; d > 1e-9 || d < -1e-9 {
+		t.Errorf("tree sum under CRCW %v, want %v", got, want)
+	}
+}
+
+func TestHillisSteelePrefixCRCW(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 4, 16} {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64()
+		}
+		m := machine.New()
+		sim := New(m, HillisSteele{N: n}, CRCW, floatCells(vals))
+		if err := sim.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		mem := sim.Memory()
+		acc := 0.0
+		for i := range vals {
+			acc += vals[i]
+			got := mem[i].(float64)
+			if d := got - acc; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("n=%d: prefix[%d] = %v, want %v", n, i, got, acc)
+			}
+		}
+	}
+}
+
+func TestHillisSteeleFailsUnderEREW(t *testing.T) {
+	// The doubling prefix has concurrent reads; EREW must reject it.
+	vals := make([]float64, 8)
+	m := machine.New()
+	sim := New(m, HillisSteele{N: 8}, EREW, floatCells(vals))
+	err := sim.Run()
+	if !errors.Is(err, ErrConcurrentAccess) {
+		t.Errorf("expected ErrConcurrentAccess, got %v", err)
+	}
+}
+
+func TestConcurrentReadModes(t *testing.T) {
+	m := machine.New()
+	sim := New(m, ConcurrentRead{P: 8}, EREW, []machine.Value{42})
+	if err := sim.Run(); !errors.Is(err, ErrConcurrentAccess) {
+		t.Errorf("EREW concurrent read: expected error, got %v", err)
+	}
+
+	m = machine.New()
+	sim = New(m, ConcurrentRead{P: 8}, CRCW, []machine.Value{42})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 8; p++ {
+		if got := sim.State(p); got != 42 {
+			t.Errorf("proc %d state = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestConcurrentWriteLowestWins(t *testing.T) {
+	m := machine.New()
+	sim := New(m, BroadcastWrite{P: 16}, CRCW, nil)
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Memory()[0]; got != 0 {
+		t.Errorf("concurrent write resolved to %v, want 0 (lowest index)", got)
+	}
+}
+
+func TestConcurrentWriteFailsUnderEREW(t *testing.T) {
+	m := machine.New()
+	sim := New(m, BroadcastWrite{P: 4}, EREW, nil)
+	if err := sim.Run(); !errors.Is(err, ErrConcurrentAccess) {
+		t.Errorf("EREW concurrent write: expected error, got %v", err)
+	}
+}
+
+func TestEREWStepCosts(t *testing.T) {
+	// Lemma VII.1: each step costs O(p(sqrt p + sqrt m)) energy and O(1)
+	// depth. TreeSum does 3 sub-steps per level; its depth must stay a
+	// small multiple of Steps() regardless of n.
+	for _, n := range []int{16, 64, 256} {
+		vals := make([]float64, n)
+		m := machine.New()
+		sim := New(m, TreeSum{N: n}, EREW, floatCells(vals))
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		steps := int64(TreeSum{N: n}.Steps())
+		if d := m.Metrics().Depth; d > 3*steps {
+			t.Errorf("n=%d: EREW depth %d exceeds 3*steps=%d", n, d, 3*steps)
+		}
+	}
+}
+
+func TestCRCWDepthPolylogPerStep(t *testing.T) {
+	// Lemma VII.2: O(log^3 p) depth per step — quadrupling p should not
+	// double per-step depth.
+	depthPerStep := func(p int) float64 {
+		m := machine.New()
+		sim := New(m, ConcurrentRead{P: p}, CRCW, []machine.Value{1.0})
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(m.Metrics().Depth)
+	}
+	// log^3 predicts (log 1024 / log 256)^3 = 1.95; linear would give 4.
+	if r := depthPerStep(1024) / depthPerStep(256); r >= 3 {
+		t.Errorf("CRCW per-step depth ratio %.2f not polylogarithmic", r)
+	}
+}
+
+func TestMemoryReadback(t *testing.T) {
+	m := machine.New()
+	init := []machine.Value{1.5, 2.5, 3.5}
+	prog := ConcurrentRead{P: 2}
+	_ = prog
+	sim := New(m, TreeSum{N: 4}, EREW, init)
+	mem := sim.Memory()
+	if mem[0] != 1.5 || mem[1] != 2.5 || mem[2] != 3.5 || mem[3] != nil {
+		t.Errorf("memory image %v", mem)
+	}
+}
+
+func TestLayoutRegions(t *testing.T) {
+	m := machine.New()
+	sim := New(m, TreeSum{N: 64}, EREW, floatCells(make([]float64, 64)))
+	mem, procs := sim.MemRegion(), sim.ProcRegion()
+	if mem.H != 8 || mem.W != 8 {
+		t.Errorf("memory region %v, want 8x8", mem)
+	}
+	if procs.H != procs.W || procs.H < 6 {
+		t.Errorf("proc region %v not a square of side >= ceil(sqrt 32)", procs)
+	}
+	if procs.Origin.Col <= mem.Origin.Col+mem.W-1 {
+		t.Errorf("proc region %v overlaps memory %v", procs, mem)
+	}
+}
+
+func TestListRankingCRCW(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{2, 4, 8, 16} {
+		// Build a random list over nodes 0..n-1.
+		perm := rng.Perm(n)
+		next := make([]int, n)
+		for i := 0; i < n-1; i++ {
+			next[perm[i]] = perm[i+1]
+		}
+		next[perm[n-1]] = n // tail
+		m := machine.New()
+		// Memory init: next pointers and initial ranks.
+		init := make([]machine.Value, 2*n)
+		for i := 0; i < n; i++ {
+			init[i] = next[i]
+			r := int64(1)
+			if next[i] == n {
+				r = 0
+			}
+			init[n+i] = r
+		}
+		sim := New(m, ListRanking{Next: next}, CRCW, init)
+		if err := sim.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		mem := sim.Memory()
+		for pos, node := range perm {
+			want := int64(n - 1 - pos)
+			if got := mem[n+node].(int64); got != want {
+				t.Fatalf("n=%d: rank of node %d (position %d) = %d, want %d", n, node, pos, got, want)
+			}
+		}
+	}
+}
+
+func TestListRankingChainIsEREWSafe(t *testing.T) {
+	// On a simple list the successor pointers stay injective under
+	// jumping, so the phased Wyllie schedule is exclusive — it must run
+	// under EREW too.
+	next := []int{1, 2, 3, 4} // chain 0->1->2->3->nil
+	init := make([]machine.Value, 8)
+	for i := 0; i < 4; i++ {
+		init[i] = next[i]
+		r := int64(1)
+		if next[i] == 4 {
+			r = 0
+		}
+		init[4+i] = r
+	}
+	m := machine.New()
+	sim := New(m, ListRanking{Next: next}, EREW, init)
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mem := sim.Memory()
+	for i, want := range []int64{3, 2, 1, 0} {
+		if got := mem[4+i].(int64); got != want {
+			t.Errorf("rank[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestListRankingInTreeNeedsCRCW(t *testing.T) {
+	// On an in-tree several nodes share a successor, so the same rank
+	// cell is read concurrently: EREW must reject it, CRCW must compute
+	// the depth of every node.
+	next := []int{2, 2, 4, 2} // 0,1,3 -> 2 -> nil
+	init := make([]machine.Value, 8)
+	for i := 0; i < 4; i++ {
+		init[i] = next[i]
+		r := int64(1)
+		if next[i] == 4 {
+			r = 0
+		}
+		init[4+i] = r
+	}
+	m := machine.New()
+	sim := New(m, ListRanking{Next: next}, EREW, init)
+	if err := sim.Run(); !errors.Is(err, ErrConcurrentAccess) {
+		t.Errorf("expected ErrConcurrentAccess, got %v", err)
+	}
+
+	m = machine.New()
+	sim = New(m, ListRanking{Next: next}, CRCW, init)
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mem := sim.Memory()
+	for i, want := range []int64{1, 1, 0, 1} {
+		if got := mem[4+i].(int64); got != want {
+			t.Errorf("depth[%d] = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package pram
+
+import "repro/internal/machine"
+
+// TreeSum is an EREW PRAM program summing m float64 cells with a binary
+// reduction tree: p = m/2 processors, log2 m steps, the total ends in cell
+// 0. Each step t has processor i combine cells 2^{t+1}i and 2^{t+1}i + 2^t.
+// Memory cells are read by at most one processor per step, so it is EREW.
+type TreeSum struct {
+	N int // number of summands; must be a power of two
+}
+
+type treeSumState struct {
+	partial float64
+	phase   int
+}
+
+func (ts TreeSum) Procs() int { return max(ts.N/2, 1) }
+func (ts TreeSum) Cells() int { return ts.N }
+
+// Steps: each reduction level needs two reads (one per operand) and one
+// write, serialized into three PRAM steps per level.
+func (ts TreeSum) Steps() int {
+	levels := 0
+	for s := ts.N; s > 1; s /= 2 {
+		levels++
+	}
+	return 3 * levels
+}
+
+func (ts TreeSum) InitState(int) machine.Value { return treeSumState{} }
+
+func (ts TreeSum) level(t int) (lvl, phase int) { return t / 3, t % 3 }
+
+func (ts TreeSum) active(lvl, proc int) bool {
+	return proc < ts.N>>(lvl+1)
+}
+
+func (ts TreeSum) Read(t, proc int, state machine.Value) (int, bool) {
+	lvl, phase := ts.level(t)
+	if !ts.active(lvl, proc) {
+		return 0, false
+	}
+	stride := 1 << lvl
+	base := proc * stride * 2
+	switch phase {
+	case 0:
+		return base, true
+	case 1:
+		return base + stride, true
+	default:
+		return 0, false
+	}
+}
+
+func (ts TreeSum) Compute(t, proc int, state machine.Value, read machine.Value) (machine.Value, *Write) {
+	lvl, phase := ts.level(t)
+	st := state.(treeSumState)
+	if !ts.active(lvl, proc) {
+		return st, nil
+	}
+	switch phase {
+	case 0:
+		st.partial = read.(float64)
+		return st, nil
+	case 1:
+		st.partial += read.(float64)
+		return st, nil
+	default:
+		return st, &Write{Addr: proc * (1 << (lvl + 1)), Val: st.partial}
+	}
+}
+
+// HillisSteele is the classic doubling prefix-sum program: n processors, n
+// cells, one step per doubling level (plus one initial load step). At level
+// l, processor i >= 2^l reads cell i - 2^l and writes the updated prefix to
+// cell i, so cell c is read by processor c + 2^l while processor c writes
+// it — concurrent access within a step, requiring the CRCW simulation (the
+// EREW simulation rejects it).
+type HillisSteele struct {
+	N int // number of elements; must be a power of two
+}
+
+func (hs HillisSteele) Procs() int { return hs.N }
+func (hs HillisSteele) Cells() int { return hs.N }
+
+func (hs HillisSteele) Steps() int {
+	levels := 0
+	for s := hs.N; s > 1; s /= 2 {
+		levels++
+	}
+	return 1 + levels
+}
+
+func (hs HillisSteele) InitState(int) machine.Value { return float64(0) }
+
+func (hs HillisSteele) Read(t, proc int, state machine.Value) (int, bool) {
+	if t == 0 {
+		return proc, true // load own value
+	}
+	off := 1 << (t - 1)
+	if proc < off {
+		return 0, false // prefix already complete
+	}
+	return proc - off, true
+}
+
+func (hs HillisSteele) Compute(t, proc int, state machine.Value, read machine.Value) (machine.Value, *Write) {
+	if t == 0 {
+		return read, nil
+	}
+	off := 1 << (t - 1)
+	if proc < off {
+		return state, nil
+	}
+	sum := state.(float64) + read.(float64)
+	return sum, &Write{Addr: proc, Val: sum}
+}
+
+// BroadcastWrite is a one-step concurrent-write program: every processor
+// writes its index to cell 0; the arbitrary-CRCW rule (lowest index wins in
+// this simulation) must leave 0 there. It exists to exercise and test the
+// concurrent-write resolution.
+type BroadcastWrite struct {
+	P int
+}
+
+func (bw BroadcastWrite) Procs() int                  { return bw.P }
+func (bw BroadcastWrite) Cells() int                  { return 1 }
+func (bw BroadcastWrite) Steps() int                  { return 1 }
+func (bw BroadcastWrite) InitState(int) machine.Value { return nil }
+func (bw BroadcastWrite) Read(int, int, machine.Value) (int, bool) {
+	return 0, false
+}
+
+func (bw BroadcastWrite) Compute(t, proc int, state, read machine.Value) (machine.Value, *Write) {
+	return nil, &Write{Addr: 0, Val: proc}
+}
+
+// ConcurrentRead is a one-step program where every processor reads cell 0
+// and stores it in local state. Under EREW it must fail; under CRCW every
+// processor ends with the value.
+type ConcurrentRead struct {
+	P int
+}
+
+func (cr ConcurrentRead) Procs() int                  { return cr.P }
+func (cr ConcurrentRead) Cells() int                  { return 1 }
+func (cr ConcurrentRead) Steps() int                  { return 1 }
+func (cr ConcurrentRead) InitState(int) machine.Value { return nil }
+func (cr ConcurrentRead) Read(int, int, machine.Value) (int, bool) {
+	return 0, true
+}
+
+func (cr ConcurrentRead) Compute(t, proc int, state, read machine.Value) (machine.Value, *Write) {
+	return read, nil
+}
+
+// ListRanking computes, for every node of a linked list (or, more
+// generally, an in-tree), its distance to the tail/root by pointer jumping
+// (Wyllie's algorithm): log2(n) rounds of rank[i] += rank[next[i]];
+// next[i] = next[next[i]], each serialized into four PRAM steps (two reads,
+// two writes). On a simple list the schedule happens to stay exclusive; on
+// an in-tree several nodes read the same successor cells, exercising the
+// CRCW simulation on an irregular, data-dependent access pattern.
+//
+// Memory layout: cells [0, n) hold next pointers (int; n means nil), cells
+// [n, 2n) hold ranks (int64).
+type ListRanking struct {
+	Next []int // next[i] in [0, n], n meaning end-of-list
+}
+
+type listState struct {
+	next    int
+	rank    int64
+	fetched int64 // neighbor's rank fetched in the current round
+}
+
+func (lr ListRanking) n() int     { return len(lr.Next) }
+func (lr ListRanking) Procs() int { return lr.n() }
+func (lr ListRanking) Cells() int { return 2 * lr.n() }
+
+func (lr ListRanking) Steps() int {
+	rounds := 0
+	for s := 1; s < lr.n(); s *= 2 {
+		rounds++
+	}
+	return 4 * rounds
+}
+
+func (lr ListRanking) InitState(proc int) machine.Value {
+	rank := int64(1)
+	if lr.Next[proc] == lr.n() {
+		rank = 0
+	}
+	return listState{next: lr.Next[proc], rank: rank}
+}
+
+func (lr ListRanking) Read(t, proc int, state machine.Value) (int, bool) {
+	st := state.(listState)
+	if st.next == lr.n() {
+		return 0, false // reached the tail; nothing to jump over
+	}
+	switch t % 4 {
+	case 0:
+		return lr.n() + st.next, true // neighbor's rank
+	case 1:
+		return st.next, true // neighbor's next
+	default:
+		return 0, false
+	}
+}
+
+func (lr ListRanking) Compute(t, proc int, state, read machine.Value) (machine.Value, *Write) {
+	st := state.(listState)
+	if st.next == lr.n() {
+		// Still publish our (final) values so jumpers read fresh cells.
+		switch t % 4 {
+		case 2:
+			return st, &Write{Addr: lr.n() + proc, Val: st.rank}
+		case 3:
+			return st, &Write{Addr: proc, Val: st.next}
+		}
+		return st, nil
+	}
+	switch t % 4 {
+	case 0:
+		st.fetched = read.(int64)
+		return st, nil
+	case 1:
+		st.rank += st.fetched
+		st.next = read.(int)
+		return st, nil
+	case 2:
+		return st, &Write{Addr: lr.n() + proc, Val: st.rank}
+	default:
+		return st, &Write{Addr: proc, Val: st.next}
+	}
+}

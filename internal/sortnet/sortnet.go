@@ -1,0 +1,232 @@
+// Package sortnet implements sorting networks mapped onto the Spatial
+// Computer Model grid (Section V-B of the paper).
+//
+// Sorting networks are data-oblivious: for each time step they define a set
+// of disjoint index pairs to compare-and-swap, depending only on the input
+// size. Mapping each wire to a processor (row-major by default) yields a
+// low-depth spatial sorting algorithm, but — as Lemmas V.3 and V.4 show —
+// an energy-suboptimal one: Bitonic Sort takes Theta(n^{3/2} log n) energy
+// on a square subgrid, a Theta(log n) factor above the permutation lower
+// bound, because the recursion eventually degenerates into a 1-D algorithm
+// inside single rows.
+package sortnet
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/order"
+	"repro/internal/zorder"
+)
+
+// Comparator compares wires Lo < Hi at one network step; if Asc, the smaller
+// value ends at Lo, otherwise at Hi.
+type Comparator struct {
+	Lo, Hi int
+	Asc    bool
+}
+
+// Network is a sorting (or merging) network: a sequence of levels, each a
+// set of disjoint comparators executed in parallel.
+type Network [][]Comparator
+
+// Depth returns the number of levels.
+func (nw Network) Depth() int { return len(nw) }
+
+// Comparators returns the total comparator count.
+func (nw Network) Comparators() int {
+	total := 0
+	for _, level := range nw {
+		total += len(level)
+	}
+	return total
+}
+
+// Bitonic returns Batcher's bitonic sorting network for n wires (n a power
+// of two): O(log^2 n) levels and O(n log^2 n) comparators.
+func Bitonic(n int) Network {
+	if !zorder.IsPow2(n) {
+		panic(fmt.Sprintf("sortnet: Bitonic requires power-of-two size, got %d", n))
+	}
+	var nw Network
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			var level []Comparator
+			for i := 0; i < n; i++ {
+				l := i ^ j
+				if l > i {
+					level = append(level, Comparator{Lo: i, Hi: l, Asc: i&k == 0})
+				}
+			}
+			nw = append(nw, level)
+		}
+	}
+	return nw
+}
+
+// BitonicMerge returns the merge network that sorts a bitonic sequence of n
+// wires — in particular the concatenation of an ascending and a descending
+// sorted half: O(log n) levels, n/2 comparators each (Figure 2, Lemma V.3).
+func BitonicMerge(n int) Network {
+	if !zorder.IsPow2(n) {
+		panic(fmt.Sprintf("sortnet: BitonicMerge requires power-of-two size, got %d", n))
+	}
+	var nw Network
+	for j := n >> 1; j > 0; j >>= 1 {
+		var level []Comparator
+		for i := 0; i < n; i++ {
+			l := i ^ j
+			if l > i {
+				level = append(level, Comparator{Lo: i, Hi: l, Asc: true})
+			}
+		}
+		nw = append(nw, level)
+	}
+	return nw
+}
+
+// OddEvenMergeSort returns Batcher's odd-even mergesort network for n wires
+// (n a power of two): the same O(log^2 n) depth family as the bitonic
+// network with roughly half the comparators — the second classic
+// data-oblivious baseline.
+func OddEvenMergeSort(n int) Network {
+	if !zorder.IsPow2(n) {
+		panic(fmt.Sprintf("sortnet: OddEvenMergeSort requires power-of-two size, got %d", n))
+	}
+	var nw Network
+	for p := 1; p < n; p *= 2 {
+		for k := p; k >= 1; k /= 2 {
+			var level []Comparator
+			for j := k % p; j <= n-1-k; j += 2 * k {
+				for i := 0; i <= min(k-1, n-j-k-1); i++ {
+					if (i+j)/(2*p) == (i+j+k)/(2*p) {
+						level = append(level, Comparator{Lo: i + j, Hi: i + j + k, Asc: true})
+					}
+				}
+			}
+			nw = append(nw, level)
+		}
+	}
+	return nw
+}
+
+// OddEvenTransposition returns the odd-even transposition (brick) network:
+// n levels of neighbor comparators. On a 1-D layout it is the classic
+// linear-depth, linear-distance mesh algorithm.
+func OddEvenTransposition(n int) Network {
+	var nw Network
+	for step := 0; step < n; step++ {
+		var level []Comparator
+		for i := step % 2; i+1 < n; i += 2 {
+			level = append(level, Comparator{Lo: i, Hi: i + 1, Asc: true})
+		}
+		nw = append(nw, level)
+	}
+	return nw
+}
+
+// Run executes the network on the machine over the wires of track t, whose
+// register reg holds the elements. Each comparator is realized as one
+// message round trip between the two wire PEs (both PEs send their value,
+// then locally keep the min or max), so a comparator between PEs at
+// Manhattan distance d costs 2d energy. Levels execute as parallel rounds.
+func Run(m *machine.Machine, nw Network, t grid.Track, reg machine.Reg, less order.Less) {
+	for _, level := range nw {
+		m.Par(func(send func(from, to machine.Coord, dstReg machine.Reg, v machine.Value)) {
+			for _, c := range level {
+				lo, hi := t.At(c.Lo), t.At(c.Hi)
+				send(lo, hi, "net.in", m.Get(lo, reg))
+				send(hi, lo, "net.in", m.Get(hi, reg))
+			}
+		})
+		for _, c := range level {
+			lo, hi := t.At(c.Lo), t.At(c.Hi)
+			a := m.Get(lo, reg)      // value at the low wire
+			b := m.Get(lo, "net.in") // value received from the high wire
+			small, large := a, b
+			if less(b, a) {
+				small, large = b, a
+			}
+			if c.Asc {
+				m.Set(lo, reg, small)
+				m.Set(hi, reg, large)
+			} else {
+				m.Set(lo, reg, large)
+				m.Set(hi, reg, small)
+			}
+			m.Del(lo, "net.in")
+			m.Del(hi, "net.in")
+		}
+	}
+}
+
+// Sort runs the full bitonic sorting network over the first n positions of
+// track t. n must be a power of two. With a row-major track on an h x w
+// subgrid this is the paper's baseline with Theta(h^2 w + w^2 h log h)
+// energy, Theta(log^2 n) depth and Theta(h + w log h) distance (Lemma V.4).
+func Sort(m *machine.Machine, t grid.Track, reg machine.Reg, n int, less order.Less) {
+	Run(m, Bitonic(n), grid.Slice(t, 0, n), reg, less)
+}
+
+// Shearsort sorts the n = side*side elements stored row-major on the square
+// region r into snake order (even rows ascending left-to-right, odd rows
+// right-to-left), then permutes snake order to row-major. It alternates
+// row and column odd-even transposition phases for ceil(log2 side)+1
+// rounds — a classic mesh-connected-computer algorithm (Section II-B):
+// polynomial Theta(sqrt(n) log n) depth, which is exactly what the paper's
+// polylog-depth algorithms improve upon.
+func Shearsort(m *machine.Machine, r grid.Rect, reg machine.Reg, less order.Less) {
+	if !r.IsSquare() {
+		panic(fmt.Sprintf("sortnet: Shearsort requires a square region, got %v", r))
+	}
+	side := r.H
+	rounds := zorder.Log2(zorder.NextPow2(side)) + 1
+	rowNet := OddEvenTransposition(side)
+	for round := 0; round < rounds; round++ {
+		// Sort rows in alternating directions (snake order).
+		for row := 0; row < side; row++ {
+			tr := rowTrack(r, row)
+			if row%2 == 0 {
+				Run(m, rowNet, tr, reg, less)
+			} else {
+				Run(m, rowNet, tr, reg, order.Reverse(less))
+			}
+		}
+		// Sort columns top-to-bottom.
+		for col := 0; col < side; col++ {
+			Run(m, rowNet, colTrack(r, col), reg, less)
+		}
+	}
+	// One final row phase leaves the snake fully sorted.
+	for row := 0; row < side; row++ {
+		tr := rowTrack(r, row)
+		if row%2 == 0 {
+			Run(m, rowNet, tr, reg, less)
+		} else {
+			Run(m, rowNet, tr, reg, order.Reverse(less))
+		}
+	}
+	// Permute snake order to row-major.
+	perm := make([]int, side*side)
+	for i := range perm {
+		row, col := i/side, i%side
+		if row%2 == 1 {
+			col = side - 1 - col
+		}
+		perm[row*side+col] = i
+	}
+	grid.Route(m, grid.RowMajor(r), reg, grid.RowMajor(r), reg, perm)
+}
+
+func rowTrack(r grid.Rect, row int) grid.Track {
+	return grid.Slice(grid.RowMajor(r), row*r.W, r.W)
+}
+
+func colTrack(r grid.Rect, col int) grid.Track {
+	cs := make([]machine.Coord, r.H)
+	for i := range cs {
+		cs[i] = r.At(i, col)
+	}
+	return grid.Coords(cs...)
+}

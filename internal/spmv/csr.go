@@ -1,0 +1,84 @@
+package spmv
+
+import "fmt"
+
+// CSR is the compressed-sparse-row companion format: RowPtr has N+1
+// entries; the non-zeros of row i are ColIdx[RowPtr[i]:RowPtr[i+1]] with
+// values Val[RowPtr[i]:RowPtr[i+1]]. The spatial algorithms consume COO
+// (each PE holds one arbitrary triple, matching the paper's input
+// assumption); CSR conversion is provided for interoperability with
+// host-side solvers.
+type CSR struct {
+	N      int
+	RowPtr []int
+	ColIdx []int
+	Val    []float64
+}
+
+// FromCSR builds a COO matrix from a CSR description.
+func FromCSR(c CSR) (Matrix, error) {
+	if len(c.RowPtr) != c.N+1 {
+		return Matrix{}, fmt.Errorf("spmv: RowPtr has %d entries for %d rows", len(c.RowPtr), c.N)
+	}
+	nnz := c.RowPtr[c.N]
+	if len(c.ColIdx) != nnz || len(c.Val) != nnz {
+		return Matrix{}, fmt.Errorf("spmv: %d column indices / %d values for %d non-zeros", len(c.ColIdx), len(c.Val), nnz)
+	}
+	a := Matrix{N: c.N, Entries: make([]Entry, 0, nnz)}
+	for r := 0; r < c.N; r++ {
+		lo, hi := c.RowPtr[r], c.RowPtr[r+1]
+		if lo > hi || hi > nnz {
+			return Matrix{}, fmt.Errorf("spmv: row %d has invalid extent [%d,%d)", r, lo, hi)
+		}
+		for k := lo; k < hi; k++ {
+			a.Entries = append(a.Entries, Entry{Row: r, Col: c.ColIdx[k], Val: c.Val[k]})
+		}
+	}
+	return a, a.Validate()
+}
+
+// ToCSR converts the COO matrix to CSR, summing duplicate coordinates and
+// ordering each row's entries by column.
+func (a Matrix) ToCSR() CSR {
+	// Accumulate duplicates.
+	type key struct{ r, c int }
+	acc := make(map[key]float64, len(a.Entries))
+	for _, e := range a.Entries {
+		acc[key{e.Row, e.Col}] += e.Val
+	}
+	rowCnt := make([]int, a.N+1)
+	for k := range acc {
+		rowCnt[k.r+1]++
+	}
+	for i := 0; i < a.N; i++ {
+		rowCnt[i+1] += rowCnt[i]
+	}
+	out := CSR{
+		N:      a.N,
+		RowPtr: rowCnt,
+		ColIdx: make([]int, len(acc)),
+		Val:    make([]float64, len(acc)),
+	}
+	// Place entries, then sort each row segment by column (rows are small;
+	// insertion sort keeps this dependency-free).
+	next := append([]int(nil), rowCnt[:a.N]...)
+	for k, v := range acc {
+		i := next[k.r]
+		out.ColIdx[i] = k.c
+		out.Val[i] = v
+		next[k.r]++
+	}
+	for r := 0; r < a.N; r++ {
+		lo, hi := out.RowPtr[r], out.RowPtr[r+1]
+		for i := lo + 1; i < hi; i++ {
+			c, v := out.ColIdx[i], out.Val[i]
+			j := i - 1
+			for j >= lo && out.ColIdx[j] > c {
+				out.ColIdx[j+1], out.Val[j+1] = out.ColIdx[j], out.Val[j]
+				j--
+			}
+			out.ColIdx[j+1], out.Val[j+1] = c, v
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package spmv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestFromCSRRoundTrip(t *testing.T) {
+	c := CSR{
+		N:      3,
+		RowPtr: []int{0, 2, 2, 4},
+		ColIdx: []int{0, 2, 1, 2},
+		Val:    []float64{1, 2, 3, 4},
+	}
+	a, err := FromCSR(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 4 {
+		t.Fatalf("nnz = %d", a.NNZ())
+	}
+	x := []float64{1, 10, 100}
+	y := a.MultiplyDense(x)
+	want := []float64{201, 0, 430}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestFromCSRValidation(t *testing.T) {
+	bad := []CSR{
+		{N: 2, RowPtr: []int{0, 1}, ColIdx: []int{0}, Val: []float64{1}},           // short RowPtr
+		{N: 2, RowPtr: []int{0, 1, 3}, ColIdx: []int{0, 1}, Val: []float64{1, 2}},  // nnz mismatch
+		{N: 2, RowPtr: []int{0, 2, 1}, ColIdx: []int{0, 1}, Val: []float64{1, 2}},  // decreasing ptr
+		{N: 2, RowPtr: []int{0, 1, 2}, ColIdx: []int{0, 99}, Val: []float64{1, 2}}, // col range
+	}
+	for i, c := range bad {
+		if _, err := FromCSR(c); err == nil {
+			t.Errorf("case %d: invalid CSR accepted", i)
+		}
+	}
+}
+
+func TestToCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 16, 60) // includes duplicate coordinates
+	x := randomVector(rng, 16)
+	want := a.MultiplyDense(x)
+
+	c := a.ToCSR()
+	// Structure checks.
+	if len(c.RowPtr) != 17 || c.RowPtr[0] != 0 {
+		t.Fatalf("RowPtr malformed: %v", c.RowPtr)
+	}
+	for r := 0; r < c.N; r++ {
+		for i := c.RowPtr[r] + 1; i < c.RowPtr[r+1]; i++ {
+			if c.ColIdx[i] <= c.ColIdx[i-1] {
+				t.Fatalf("row %d not strictly column-sorted (duplicates must merge)", r)
+			}
+		}
+	}
+	back, err := FromCSR(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.MultiplyDense(x)
+	if !vecsAlmostEqual(got, want) {
+		t.Errorf("CSR round trip changed the operator: %v vs %v", got, want)
+	}
+}
+
+func TestCSRThroughSpatialMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 16, 48)
+	x := randomVector(rng, 16)
+	back, err := FromCSR(a.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New()
+	got, err := Multiply(m, back, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsAlmostEqual(got, a.MultiplyDense(x)) {
+		t.Error("spatial multiply of CSR-converted matrix disagrees with dense reference")
+	}
+}

@@ -1,0 +1,142 @@
+package spmv
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/pram"
+	"repro/internal/zorder"
+)
+
+// pramPair is the (value, segment-head) pair flowing through the segmented
+// doubling prefix.
+type pramPair struct {
+	sum  float64
+	head bool
+}
+
+// combine is the segmented-scan combination: a head on the right absorbs
+// everything to its left.
+func combine(l, r pramPair) pramPair {
+	if r.head {
+		return r
+	}
+	return pramPair{sum: l.sum + r.sum, head: l.head}
+}
+
+// pramProgram is the CRCW PRAM SpMV of Section VIII: one processor per
+// non-zero entry (entries pre-sorted by row on the host, as the PRAM
+// algorithm assumes its input in a convenient layout). Memory layout:
+//
+//	cells [0, n):        the vector x
+//	cells [n, n+m):      (product, head) pairs
+//	cells [n+m, n+m+n):  the output y
+//
+// Step 0 reads x[col] (concurrent reads), step 1 writes the initial pair,
+// steps 2..2+log2(m) run the segmented Hillis-Steele doubling, and the last
+// step has each row's final processor write y[row].
+type pramProgram struct {
+	a      Matrix
+	m2     int // m rounded up to a power of two
+	levels int
+}
+
+func newPRAMProgram(a Matrix) *pramProgram {
+	entries := append([]Entry(nil), a.Entries...)
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Row < entries[j].Row })
+	m2 := zorder.NextPow2(max(len(entries), 1))
+	levels := 0
+	for s := m2; s > 1; s /= 2 {
+		levels++
+	}
+	return &pramProgram{a: Matrix{N: a.N, Entries: entries}, m2: m2, levels: levels}
+}
+
+func (p *pramProgram) Procs() int { return p.a.NNZ() }
+func (p *pramProgram) Cells() int { return p.a.N + p.a.NNZ() + p.a.N }
+func (p *pramProgram) Steps() int { return 3 + p.levels }
+
+func (p *pramProgram) InitState(int) machine.Value { return pramPair{} }
+
+func (p *pramProgram) pairCell(i int) int { return p.a.N + i }
+func (p *pramProgram) outCell(r int) int  { return p.a.N + p.a.NNZ() + r }
+
+func (p *pramProgram) isHead(i int) bool {
+	return i == 0 || p.a.Entries[i].Row != p.a.Entries[i-1].Row
+}
+
+func (p *pramProgram) isLast(i int) bool {
+	return i == p.a.NNZ()-1 || p.a.Entries[i+1].Row != p.a.Entries[i].Row
+}
+
+func (p *pramProgram) Read(t, proc int, state machine.Value) (int, bool) {
+	switch {
+	case t == 0:
+		return p.a.Entries[proc].Col, true
+	case t == 1 || t == p.Steps()-1:
+		return 0, false
+	default:
+		off := 1 << (t - 2)
+		if proc < off {
+			return 0, false
+		}
+		return p.pairCell(proc - off), true
+	}
+}
+
+func (p *pramProgram) Compute(t, proc int, state, read machine.Value) (machine.Value, *pram.Write) {
+	switch {
+	case t == 0:
+		prod := p.a.Entries[proc].Val * read.(float64)
+		return pramPair{sum: prod, head: p.isHead(proc)}, nil
+	case t == 1:
+		return state, &pram.Write{Addr: p.pairCell(proc), Val: state}
+	case t == p.Steps()-1:
+		if !p.isLast(proc) {
+			return state, nil
+		}
+		return state, &pram.Write{Addr: p.outCell(p.a.Entries[proc].Row), Val: state.(pramPair).sum}
+	default:
+		off := 1 << (t - 2)
+		if proc < off {
+			return state, nil
+		}
+		next := combine(read.(pramPair), state.(pramPair))
+		return next, &pram.Write{Addr: p.pairCell(proc), Val: next}
+	}
+}
+
+// MultiplyPRAM computes y = A*x by running the CRCW PRAM SpMV program under
+// the sorting-based simulation of Lemma VII.2. It is the paper's PRAM
+// simulation upper bound: same O(m^{3/2}) energy as the direct algorithm
+// but an extra Theta(log) factor in depth and distance.
+func MultiplyPRAM(m *machine.Machine, a Matrix, x []float64) ([]float64, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) != a.N {
+		return nil, fmt.Errorf("spmv: vector length %d for %dx%d matrix", len(x), a.N, a.N)
+	}
+	if a.NNZ() == 0 {
+		return make([]float64, a.N), nil
+	}
+	prog := newPRAMProgram(a)
+	memInit := make([]machine.Value, prog.Cells())
+	for j, v := range x {
+		memInit[j] = v
+	}
+	for r := 0; r < a.N; r++ {
+		memInit[prog.outCell(r)] = 0.0
+	}
+	sim := pram.New(m, prog, pram.CRCW, memInit)
+	if err := sim.Run(); err != nil {
+		return nil, err
+	}
+	mem := sim.Memory()
+	y := make([]float64, a.N)
+	for r := 0; r < a.N; r++ {
+		y[r] = mem[prog.outCell(r)].(float64)
+	}
+	return y, nil
+}

@@ -1,0 +1,270 @@
+// Package spmv implements sparse matrix-vector multiplication on the
+// Spatial Computer Model (Section VIII of the paper).
+//
+// The matrix is stored in coordinate format (COO): each non-zero is a
+// triple (i, j, A_ij), distributed one per PE over a sqrt(m) x sqrt(m)
+// subgrid in arbitrary order; the dense vector x occupies a sqrt(n) x
+// sqrt(n) subgrid next to it.
+//
+// Multiply is the paper's direct algorithm (Theorem VIII.2): sort by
+// column, elect column leaders, fetch and segmented-broadcast the vector
+// entries, multiply locally, sort by row, and segmented-scan the partial
+// products — O(m^{3/2}) energy, O(log^3 n) depth, O(sqrt m) distance,
+// matching the lower bound of Lemma VIII.1 for m = O(n).
+//
+// MultiplyPRAM is the PRAM-simulation upper bound from the same section: a
+// CRCW program computing the products and summing them with a doubling
+// (segmented Hillis-Steele) prefix, executed by the Lemma VII.2 simulation —
+// O(m^{3/2}) energy but O(log^4 n) depth and O(sqrt m log n) distance, a
+// log-factor worse than the direct algorithm in depth and distance.
+package spmv
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/collectives"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/zorder"
+)
+
+// Entry is one non-zero matrix element A[Row][Col] = Val.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// Matrix is an N x N sparse matrix in coordinate (COO) format. Duplicate
+// coordinates are allowed and contribute additively.
+type Matrix struct {
+	N       int
+	Entries []Entry
+}
+
+// NNZ returns the number of stored entries.
+func (a Matrix) NNZ() int { return len(a.Entries) }
+
+// Validate checks that all coordinates are in range.
+func (a Matrix) Validate() error {
+	for _, e := range a.Entries {
+		if e.Row < 0 || e.Row >= a.N || e.Col < 0 || e.Col >= a.N {
+			return fmt.Errorf("spmv: entry (%d,%d) outside %dx%d matrix", e.Row, e.Col, a.N, a.N)
+		}
+	}
+	return nil
+}
+
+// MultiplyDense is the host-side reference: y = A*x by direct accumulation.
+func (a Matrix) MultiplyDense(x []float64) []float64 {
+	y := make([]float64, a.N)
+	for _, e := range a.Entries {
+		y[e.Row] += e.Val * x[e.Col]
+	}
+	return y
+}
+
+// triple is the on-grid representation of a COO entry; pad marks the dummy
+// entries filling the matrix subgrid up to a power-of-four size.
+type triple struct {
+	row, col int
+	val      float64
+	x        float64 // fetched vector entry
+	pad      bool
+}
+
+const (
+	regT    = "spmv.t"    // triple / partial product tuple
+	regHead = "spmv.head" // segment head flag
+	regBV   = "spmv.bv"   // segmented-broadcast value
+)
+
+// Multiply computes y = A*x with the direct sort+scan algorithm on machine
+// m. It lays out the matrix subgrid at the origin and the vector subgrid to
+// its right, runs the seven steps of Section VIII, and returns y.
+func Multiply(m *machine.Machine, a Matrix, x []float64) ([]float64, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) != a.N {
+		return nil, fmt.Errorf("spmv: vector length %d for %dx%d matrix", len(x), a.N, a.N)
+	}
+	if a.NNZ() == 0 {
+		return make([]float64, a.N), nil
+	}
+
+	// Layout: matrix triples on a square power-of-two subgrid (padded),
+	// x on a ceil(sqrt n) square to the right, y below x.
+	side := zorder.NextPow2(int(math.Ceil(math.Sqrt(float64(a.NNZ())))))
+	mat := grid.Square(machine.Coord{}, side)
+	mt := grid.ZOrder(mat)
+	total := mat.Size()
+
+	vecSide := int(math.Ceil(math.Sqrt(float64(a.N))))
+	vec := mat.RightOf(vecSide, vecSide)
+	vt := grid.RowMajor(vec)
+	out := vec.Below(vecSide, vecSide)
+	ot := grid.RowMajor(out)
+
+	for i := 0; i < total; i++ {
+		if i < a.NNZ() {
+			e := a.Entries[i]
+			m.Set(mt.At(i), regT, triple{row: e.Row, col: e.Col, val: e.Val})
+		} else {
+			m.Set(mt.At(i), regT, triple{pad: true})
+		}
+	}
+	for j := 0; j < a.N; j++ {
+		m.Set(vt.At(j), "spmv.x", x[j])
+	}
+
+	// Step 1: sort the triples by column index (padding last).
+	core.SortToTrack(m, mat, regT, mt, regT, tripleByCol)
+
+	// Step 2: column leaders — each PE learns its Z-order predecessor's
+	// column index.
+	electLeaders(m, mt, total, func(t triple) int64 { return colKey(t) })
+
+	// Step 3: column leaders fetch x_j and a segmented broadcast (a
+	// segmented scan with the First operator) distributes it.
+	m.Par(func(send func(from, to machine.Coord, dstReg machine.Reg, v machine.Value)) {
+		for i := 0; i < total; i++ {
+			c := mt.At(i)
+			t := m.Get(c, regT).(triple)
+			if m.Get(c, regHead).(bool) && !t.pad {
+				send(c, vt.At(t.col), "spmv.req", i)
+			}
+		}
+	})
+	m.Par(func(send func(from, to machine.Coord, dstReg machine.Reg, v machine.Value)) {
+		for i := 0; i < total; i++ {
+			c := mt.At(i)
+			t := m.Get(c, regT).(triple)
+			if m.Get(c, regHead).(bool) && !t.pad {
+				cell := vt.At(t.col)
+				send(cell, c, regBV, m.Get(cell, "spmv.x"))
+				m.Del(cell, "spmv.req")
+			}
+		}
+	})
+	for i := 0; i < total; i++ {
+		c := mt.At(i)
+		if !m.Has(c, regBV) {
+			m.Set(c, regBV, 0.0)
+		}
+	}
+	collectives.SegmentedScan(m, mat, regBV, regHead, collectives.First, 0.0)
+
+	// Step 4: local partial products.
+	for i := 0; i < total; i++ {
+		c := mt.At(i)
+		t := m.Get(c, regT).(triple)
+		if !t.pad {
+			t.x = m.Get(c, regBV).(float64)
+		}
+		m.Set(c, regT, t)
+		m.Del(c, regBV)
+		m.Del(c, regHead)
+	}
+
+	// Step 5: sort the products by row index.
+	core.SortToTrack(m, mat, regT, mt, regT, tripleByRow)
+
+	// Step 6: row leaders.
+	electLeaders(m, mt, total, func(t triple) int64 { return rowKey(t) })
+
+	// Step 7: segmented scan sums each row's products; the last PE of a
+	// segment holds the row total and routes it to the output subgrid.
+	for i := 0; i < total; i++ {
+		c := mt.At(i)
+		t := m.Get(c, regT).(triple)
+		prod := 0.0
+		if !t.pad {
+			prod = t.val * t.x
+		}
+		m.Set(c, regBV, prod)
+	}
+	collectives.SegmentedScan(m, mat, regBV, regHead, collectives.Add, 0.0)
+	// A PE is the last of its segment iff its successor is a head (or it
+	// is the final PE); learn the successor's head flag in one round.
+	m.Par(func(send func(from, to machine.Coord, dstReg machine.Reg, v machine.Value)) {
+		for i := 1; i < total; i++ {
+			send(mt.At(i), mt.At(i-1), "spmv.nexthead", m.Get(mt.At(i), regHead))
+		}
+	})
+	m.Par(func(send func(from, to machine.Coord, dstReg machine.Reg, v machine.Value)) {
+		for i := 0; i < total; i++ {
+			c := mt.At(i)
+			t := m.Get(c, regT).(triple)
+			if t.pad {
+				continue
+			}
+			last := i == total-1
+			if !last {
+				nh := m.Get(c, "spmv.nexthead").(bool)
+				// The successor being a pad triple also ends the segment
+				// (pads sort last and form their own segment).
+				last = nh
+			}
+			if last {
+				send(c, ot.At(t.row), "spmv.y", m.Get(c, regBV))
+			}
+		}
+	})
+	for i := 0; i < total; i++ {
+		c := mt.At(i)
+		m.Del(c, "spmv.nexthead")
+		m.Del(c, regBV)
+		m.Del(c, regHead)
+		m.Del(c, regT)
+	}
+
+	y := make([]float64, a.N)
+	for r := 0; r < a.N; r++ {
+		if v, ok := m.Lookup(ot.At(r), "spmv.y"); ok {
+			y[r] = v.(float64)
+			m.Del(ot.At(r), "spmv.y")
+		}
+	}
+	return y, nil
+}
+
+// colKey and rowKey order real triples by column/row with pads last.
+func colKey(t triple) int64 {
+	if t.pad {
+		return int64(1) << 60
+	}
+	return int64(t.col)
+}
+
+func rowKey(t triple) int64 {
+	if t.pad {
+		return int64(1) << 60
+	}
+	return int64(t.row)
+}
+
+func tripleByCol(a, b machine.Value) bool { return colKey(a.(triple)) < colKey(b.(triple)) }
+func tripleByRow(a, b machine.Value) bool { return rowKey(a.(triple)) < rowKey(b.(triple)) }
+
+// electLeaders sets regHead on each track position whose key differs from
+// its predecessor's ("each processor sends its column index to the next
+// processor in the sequence; if the received index differs from its own or
+// no message is received, it becomes a leader").
+func electLeaders(m *machine.Machine, t grid.Track, total int, key func(triple) int64) {
+	m.Par(func(send func(from, to machine.Coord, dstReg machine.Reg, v machine.Value)) {
+		for i := 0; i+1 < total; i++ {
+			send(t.At(i), t.At(i+1), "spmv.prev", key(m.Get(t.At(i), regT).(triple)))
+		}
+	})
+	for i := 0; i < total; i++ {
+		c := t.At(i)
+		head := true
+		if i > 0 {
+			head = m.Get(c, "spmv.prev").(int64) != key(m.Get(c, regT).(triple))
+			m.Del(c, "spmv.prev")
+		}
+		m.Set(c, regHead, head)
+	}
+}

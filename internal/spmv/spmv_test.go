@@ -1,0 +1,253 @@
+package spmv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func randomMatrix(rng *rand.Rand, n, nnz int) Matrix {
+	a := Matrix{N: n}
+	for i := 0; i < nnz; i++ {
+		a.Entries = append(a.Entries, Entry{
+			Row: rng.Intn(n),
+			Col: rng.Intn(n),
+			Val: rng.Float64()*4 - 2,
+		})
+	}
+	return a
+}
+
+func randomVector(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()*4 - 2
+	}
+	return x
+}
+
+func vecsAlmostEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9*(1+math.Abs(a[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMultiplyMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, nnz int }{
+		{4, 1}, {4, 8}, {8, 16}, {16, 40}, {32, 100}, {64, 256},
+	} {
+		a := randomMatrix(rng, tc.n, tc.nnz)
+		x := randomVector(rng, tc.n)
+		m := machine.New()
+		got, err := Multiply(m, a, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := a.MultiplyDense(x); !vecsAlmostEqual(got, want) {
+			t.Fatalf("n=%d nnz=%d: Multiply = %v, want %v", tc.n, tc.nnz, got, want)
+		}
+	}
+}
+
+func TestMultiplyQuick(t *testing.T) {
+	f := func(coords []uint16, vals []int8, xs []int8) bool {
+		n := 16
+		a := Matrix{N: n}
+		for i := 0; i < len(coords) && i < len(vals) && i < 48; i++ {
+			a.Entries = append(a.Entries, Entry{
+				Row: int(coords[i]) % n,
+				Col: int(coords[i]>>4) % n,
+				Val: float64(vals[i]),
+			})
+		}
+		x := make([]float64, n)
+		for i := range x {
+			if i < len(xs) {
+				x[i] = float64(xs[i])
+			}
+		}
+		m := machine.New()
+		got, err := Multiply(m, a, x)
+		if err != nil {
+			return false
+		}
+		return vecsAlmostEqual(got, a.MultiplyDense(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiplySpecialShapes(t *testing.T) {
+	n := 16
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	cases := map[string]Matrix{
+		"identity": func() Matrix {
+			a := Matrix{N: n}
+			for i := 0; i < n; i++ {
+				a.Entries = append(a.Entries, Entry{i, i, 1})
+			}
+			return a
+		}(),
+		"singleRow":  {N: n, Entries: []Entry{{3, 0, 2}, {3, 5, -1}, {3, 15, 0.5}}},
+		"singleCol":  {N: n, Entries: []Entry{{0, 7, 1}, {4, 7, 2}, {15, 7, 3}}},
+		"duplicates": {N: n, Entries: []Entry{{2, 2, 1}, {2, 2, 1}, {2, 2, 1}}},
+		"denseRow": func() Matrix {
+			a := Matrix{N: n}
+			for j := 0; j < n; j++ {
+				a.Entries = append(a.Entries, Entry{0, j, 1})
+			}
+			return a
+		}(),
+	}
+	for name, a := range cases {
+		m := machine.New()
+		got, err := Multiply(m, a, x)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if want := a.MultiplyDense(x); !vecsAlmostEqual(got, want) {
+			t.Fatalf("%s: got %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestMultiplyEmptyMatrix(t *testing.T) {
+	m := machine.New()
+	got, err := Multiply(m, Matrix{N: 4}, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("y[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestMultiplyValidates(t *testing.T) {
+	m := machine.New()
+	if _, err := Multiply(m, Matrix{N: 4, Entries: []Entry{{5, 0, 1}}}, make([]float64, 4)); err == nil {
+		t.Error("out-of-range entry not rejected")
+	}
+	if _, err := Multiply(m, Matrix{N: 4, Entries: []Entry{{0, 0, 1}}}, make([]float64, 3)); err == nil {
+		t.Error("bad vector length not rejected")
+	}
+}
+
+func TestMultiplyLinearity(t *testing.T) {
+	// Property: A(x + y) = Ax + Ay.
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 16, 40)
+	x := randomVector(rng, 16)
+	y := randomVector(rng, 16)
+	xy := make([]float64, 16)
+	for i := range xy {
+		xy[i] = x[i] + y[i]
+	}
+	run := func(v []float64) []float64 {
+		m := machine.New()
+		out, err := Multiply(m, a, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ax, ay, axy := run(x), run(y), run(xy)
+	sum := make([]float64, 16)
+	for i := range sum {
+		sum[i] = ax[i] + ay[i]
+	}
+	if !vecsAlmostEqual(axy, sum) {
+		t.Errorf("linearity violated: A(x+y)=%v, Ax+Ay=%v", axy, sum)
+	}
+}
+
+func TestMultiplyPRAMMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ n, nnz int }{{4, 6}, {8, 16}, {16, 48}} {
+		a := randomMatrix(rng, tc.n, tc.nnz)
+		x := randomVector(rng, tc.n)
+		m := machine.New()
+		got, err := MultiplyPRAM(m, a, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := a.MultiplyDense(x); !vecsAlmostEqual(got, want) {
+			t.Fatalf("n=%d nnz=%d: MultiplyPRAM = %v, want %v", tc.n, tc.nnz, got, want)
+		}
+	}
+}
+
+func TestDirectBeatsPRAMDepth(t *testing.T) {
+	// Section VIII: the direct algorithm improves depth and distance by a
+	// Theta(log n) factor over the PRAM simulation.
+	rng := rand.New(rand.NewSource(4))
+	a := randomMatrix(rng, 32, 128)
+	x := randomVector(rng, 32)
+
+	md := machine.New()
+	if _, err := Multiply(md, a, x); err != nil {
+		t.Fatal(err)
+	}
+	mp := machine.New()
+	if _, err := MultiplyPRAM(mp, a, x); err != nil {
+		t.Fatal(err)
+	}
+	if md.Metrics().Depth >= mp.Metrics().Depth {
+		t.Errorf("direct depth %d not below PRAM depth %d", md.Metrics().Depth, mp.Metrics().Depth)
+	}
+	if md.Metrics().Distance >= mp.Metrics().Distance {
+		t.Errorf("direct distance %d not below PRAM distance %d", md.Metrics().Distance, mp.Metrics().Distance)
+	}
+}
+
+func TestMultiplyEnergyScaling(t *testing.T) {
+	// Theorem VIII.2: O(m^{3/2}) energy — quadrupling nnz should scale
+	// energy by roughly 8, clearly below 16.
+	energyAt := func(nnz int) float64 {
+		rng := rand.New(rand.NewSource(5))
+		a := randomMatrix(rng, 64, nnz)
+		x := randomVector(rng, 64)
+		m := machine.New()
+		if _, err := Multiply(m, a, x); err != nil {
+			t.Fatal(err)
+		}
+		return float64(m.Metrics().Energy)
+	}
+	if r := energyAt(1024) / energyAt(256); r > 14 {
+		t.Errorf("spmv energy quadrupling ratio %.1f too large for O(m^{3/2})", r)
+	}
+}
+
+func TestMultiplyDepthPolylog(t *testing.T) {
+	depthAt := func(nnz int) float64 {
+		rng := rand.New(rand.NewSource(6))
+		a := randomMatrix(rng, 64, nnz)
+		x := randomVector(rng, 64)
+		m := machine.New()
+		if _, err := Multiply(m, a, x); err != nil {
+			t.Fatal(err)
+		}
+		return float64(m.Metrics().Depth)
+	}
+	// O(log^3) predicts ~(12/10)^3 = 1.73 plus lower-order noise at these
+	// sizes (measured ratios decline 3.1 -> 2.2 -> 1.8 across the sweep);
+	// a linear-depth algorithm would hold a constant ratio of 4.
+	if r := depthAt(4096) / depthAt(1024); r >= 2.8 {
+		t.Errorf("spmv depth quadrupling ratio %.2f not polylogarithmic", r)
+	}
+}

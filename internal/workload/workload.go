@@ -1,0 +1,197 @@
+// Package workload generates the inputs used by the test suite, the
+// examples and the benchmark harness: arrays with various orderings,
+// adversarial permutations (including the reversal family behind the
+// permutation lower bound of Lemma V.1), and sparse matrices modeling the
+// scientific-computing and graph workloads that motivate the paper
+// (stencils, banded systems, power-law graphs).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/spmv"
+)
+
+// ArrayKind names an input ordering for sorting/scan/selection workloads.
+type ArrayKind string
+
+const (
+	Random    ArrayKind = "random"    // i.i.d. uniform values
+	Sorted    ArrayKind = "sorted"    // already in order
+	Reversed  ArrayKind = "reversed"  // worst case for naive movement
+	FewValues ArrayKind = "fewvalues" // heavy duplication (8 distinct values)
+	OrganPipe ArrayKind = "organpipe" // ascending then descending
+	Gaussian  ArrayKind = "gaussian"  // normal values, clustered around 0
+)
+
+// ArrayKinds lists all array generators.
+func ArrayKinds() []ArrayKind {
+	return []ArrayKind{Random, Sorted, Reversed, FewValues, OrganPipe, Gaussian}
+}
+
+// Array returns n float64 values of the given kind.
+func Array(kind ArrayKind, n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	switch kind {
+	case Random:
+		for i := range out {
+			out[i] = rng.Float64()
+		}
+	case Sorted:
+		for i := range out {
+			out[i] = float64(i)
+		}
+	case Reversed:
+		for i := range out {
+			out[i] = float64(n - i)
+		}
+	case FewValues:
+		for i := range out {
+			out[i] = float64(rng.Intn(8))
+		}
+	case OrganPipe:
+		for i := range out {
+			out[i] = float64(min(i, n-i))
+		}
+	case Gaussian:
+		for i := range out {
+			out[i] = rng.NormFloat64()
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown array kind %q", kind))
+	}
+	return out
+}
+
+// PermKind names a permutation family for the routing experiments.
+type PermKind string
+
+const (
+	PermIdentity PermKind = "identity" // zero-energy baseline
+	// PermReversal reverses row-major order: the adversarial permutation of
+	// Lemma V.1 that forces Omega(n^{3/2}) energy on a square grid.
+	PermReversal  PermKind = "reversal"
+	PermTranspose PermKind = "transpose" // (r,c) -> (c,r) on a square grid
+	PermRandom    PermKind = "random"    // uniformly random permutation
+	PermShiftHalf PermKind = "shifthalf" // cyclic shift by n/2
+)
+
+// PermKinds lists all permutation generators.
+func PermKinds() []PermKind {
+	return []PermKind{PermIdentity, PermReversal, PermTranspose, PermRandom, PermShiftHalf}
+}
+
+// Permutation returns a permutation of [0, n). For PermTranspose n must be
+// a perfect square.
+func Permutation(kind PermKind, n int, rng *rand.Rand) []int {
+	p := make([]int, n)
+	switch kind {
+	case PermIdentity:
+		for i := range p {
+			p[i] = i
+		}
+	case PermReversal:
+		for i := range p {
+			p[i] = n - 1 - i
+		}
+	case PermTranspose:
+		side := int(math.Sqrt(float64(n)))
+		if side*side != n {
+			panic("workload: transpose permutation requires a square size")
+		}
+		for i := range p {
+			r, c := i/side, i%side
+			p[i] = c*side + r
+		}
+	case PermRandom:
+		copy(p, rng.Perm(n))
+	case PermShiftHalf:
+		for i := range p {
+			p[i] = (i + n/2) % n
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown permutation kind %q", kind))
+	}
+	return p
+}
+
+// MatrixKind names a sparse-matrix family.
+type MatrixKind string
+
+const (
+	// MatUniform scatters nnz entries uniformly: the unstructured case.
+	MatUniform MatrixKind = "uniform"
+	// MatStencil is the 5-point Laplacian of a 2-D grid: the canonical
+	// scientific-computing matrix (conjugate-gradient workloads, [14]).
+	MatStencil MatrixKind = "stencil"
+	// MatTridiagonal is a banded system.
+	MatTridiagonal MatrixKind = "tridiagonal"
+	// MatPowerLaw draws row degrees from a Zipf distribution: a proxy for
+	// graph adjacency structure in GNN workloads [15], [16].
+	MatPowerLaw MatrixKind = "powerlaw"
+)
+
+// MatrixKinds lists all matrix generators.
+func MatrixKinds() []MatrixKind {
+	return []MatrixKind{MatUniform, MatStencil, MatTridiagonal, MatPowerLaw}
+}
+
+// SparseMatrix generates an n x n matrix of the given family. nnzHint
+// bounds the entry count for the unstructured families and is ignored by
+// the structured ones (whose nnz is determined by n).
+func SparseMatrix(kind MatrixKind, n, nnzHint int, rng *rand.Rand) spmv.Matrix {
+	a := spmv.Matrix{N: n}
+	switch kind {
+	case MatUniform:
+		for i := 0; i < nnzHint; i++ {
+			a.Entries = append(a.Entries, spmv.Entry{
+				Row: rng.Intn(n), Col: rng.Intn(n), Val: rng.Float64()*2 - 1,
+			})
+		}
+	case MatStencil:
+		side := int(math.Sqrt(float64(n)))
+		if side*side != n {
+			panic("workload: stencil matrix requires a square n")
+		}
+		idx := func(r, c int) int { return r*side + c }
+		for r := 0; r < side; r++ {
+			for c := 0; c < side; c++ {
+				i := idx(r, c)
+				a.Entries = append(a.Entries, spmv.Entry{Row: i, Col: i, Val: 4})
+				for _, d := range [][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+					nr, nc := r+d[0], c+d[1]
+					if nr >= 0 && nr < side && nc >= 0 && nc < side {
+						a.Entries = append(a.Entries, spmv.Entry{Row: i, Col: idx(nr, nc), Val: -1})
+					}
+				}
+			}
+		}
+	case MatTridiagonal:
+		for i := 0; i < n; i++ {
+			a.Entries = append(a.Entries, spmv.Entry{Row: i, Col: i, Val: 2})
+			if i > 0 {
+				a.Entries = append(a.Entries, spmv.Entry{Row: i, Col: i - 1, Val: -1})
+			}
+			if i < n-1 {
+				a.Entries = append(a.Entries, spmv.Entry{Row: i, Col: i + 1, Val: -1})
+			}
+		}
+	case MatPowerLaw:
+		zipf := rand.NewZipf(rng, 1.5, 1, uint64(max(n/4, 1)))
+		total := 0
+		for r := 0; r < n && total < nnzHint; r++ {
+			deg := int(zipf.Uint64()) + 1
+			for d := 0; d < deg && total < nnzHint; d++ {
+				a.Entries = append(a.Entries, spmv.Entry{
+					Row: r, Col: rng.Intn(n), Val: rng.Float64()*2 - 1,
+				})
+				total++
+			}
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown matrix kind %q", kind))
+	}
+	return a
+}

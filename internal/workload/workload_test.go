@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestArrayKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, kind := range ArrayKinds() {
+		a := Array(kind, 64, rng)
+		if len(a) != 64 {
+			t.Fatalf("%s: length %d", kind, len(a))
+		}
+	}
+	if !sort.Float64sAreSorted(Array(Sorted, 100, rng)) {
+		t.Error("Sorted array not sorted")
+	}
+	rev := Array(Reversed, 100, rng)
+	for i := 1; i < len(rev); i++ {
+		if rev[i] > rev[i-1] {
+			t.Fatal("Reversed array not descending")
+		}
+	}
+	few := Array(FewValues, 1000, rng)
+	distinct := map[float64]bool{}
+	for _, v := range few {
+		distinct[v] = true
+	}
+	if len(distinct) > 8 {
+		t.Errorf("FewValues produced %d distinct values", len(distinct))
+	}
+}
+
+func TestPermutationsAreValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, kind := range PermKinds() {
+		p := Permutation(kind, 64, rng)
+		seen := make([]bool, 64)
+		for _, v := range p {
+			if v < 0 || v >= 64 || seen[v] {
+				t.Fatalf("%s: invalid permutation", kind)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermutationShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	id := Permutation(PermIdentity, 10, rng)
+	for i, v := range id {
+		if v != i {
+			t.Fatal("identity wrong")
+		}
+	}
+	rev := Permutation(PermReversal, 10, rng)
+	for i, v := range rev {
+		if v != 9-i {
+			t.Fatal("reversal wrong")
+		}
+	}
+	tr := Permutation(PermTranspose, 16, rng)
+	if tr[1] != 4 || tr[4] != 1 || tr[5] != 5 {
+		t.Fatalf("transpose wrong: %v", tr)
+	}
+}
+
+func TestSparseMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, kind := range MatrixKinds() {
+		a := SparseMatrix(kind, 16, 48, rng)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if a.NNZ() == 0 {
+			t.Fatalf("%s: empty matrix", kind)
+		}
+	}
+}
+
+func TestStencilStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := SparseMatrix(MatStencil, 16, 0, rng)
+	// 4x4 grid Laplacian: 16 diagonal entries + 2*2*(4*3) neighbor links.
+	if a.NNZ() != 16+48 {
+		t.Errorf("stencil nnz = %d, want 64", a.NNZ())
+	}
+	// Row sums of an interior point are zero (4 - 1 - 1 - 1 - 1).
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = 1
+	}
+	y := a.MultiplyDense(x)
+	if y[5] != 0 || y[6] != 0 {
+		t.Errorf("interior Laplacian row sums: %v %v, want 0", y[5], y[6])
+	}
+}
+
+func TestTridiagonalStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := SparseMatrix(MatTridiagonal, 8, 0, rng)
+	if a.NNZ() != 3*8-2 {
+		t.Errorf("tridiagonal nnz = %d, want 22", a.NNZ())
+	}
+	for _, e := range a.Entries {
+		d := e.Row - e.Col
+		if d < -1 || d > 1 {
+			t.Fatalf("entry (%d,%d) outside the band", e.Row, e.Col)
+		}
+	}
+}
+
+func TestPowerLawBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := SparseMatrix(MatPowerLaw, 64, 100, rng)
+	if a.NNZ() > 100 {
+		t.Errorf("power-law nnz %d exceeds hint", a.NNZ())
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a1 := Array(Random, 32, rand.New(rand.NewSource(9)))
+	a2 := Array(Random, 32, rand.New(rand.NewSource(9)))
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("generators not deterministic per seed")
+		}
+	}
+}

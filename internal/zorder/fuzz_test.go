@@ -1,0 +1,27 @@
+package zorder
+
+import "testing"
+
+func FuzzMortonRoundTrip(f *testing.F) {
+	f.Add(uint16(0), uint16(0))
+	f.Add(uint16(1), uint16(2))
+	f.Add(uint16(65535), uint16(65535))
+	f.Fuzz(func(t *testing.T, row, col uint16) {
+		r, c := Decode(Encode(int(row), int(col)))
+		if r != int(row) || c != int(col) {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d)", row, col, r, c)
+		}
+	})
+}
+
+func FuzzHilbertRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(0))
+	f.Add(uint8(5), uint8(200))
+	f.Fuzz(func(t *testing.T, row, col uint8) {
+		const side = 256
+		r, c := HilbertDecode(side, HilbertEncode(side, int(row), int(col)))
+		if r != int(row) || c != int(col) {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d)", row, col, r, c)
+		}
+	})
+}

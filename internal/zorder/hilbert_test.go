@@ -1,0 +1,86 @@
+package zorder
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHilbertRoundTrip(t *testing.T) {
+	for _, side := range []int{1, 2, 4, 8, 16, 32} {
+		for row := 0; row < side; row++ {
+			for col := 0; col < side; col++ {
+				d := HilbertEncode(side, row, col)
+				r, c := HilbertDecode(side, d)
+				if r != row || c != col {
+					t.Fatalf("side %d: decode(encode(%d,%d)) = (%d,%d)", side, row, col, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestHilbertQuick(t *testing.T) {
+	const side = 64
+	f := func(r, c uint8) bool {
+		row, col := int(r)%side, int(c)%side
+		rr, cc := HilbertDecode(side, HilbertEncode(side, row, col))
+		return rr == row && cc == col
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHilbertCurveUnitSteps(t *testing.T) {
+	// The defining property: consecutive Hilbert cells are grid neighbors.
+	for _, side := range []int{2, 4, 8, 16} {
+		cells := HilbertCurve(side)
+		for i := 1; i < len(cells); i++ {
+			dr := cells[i][0] - cells[i-1][0]
+			dc := cells[i][1] - cells[i-1][1]
+			if dr < 0 {
+				dr = -dr
+			}
+			if dc < 0 {
+				dc = -dc
+			}
+			if dr+dc != 1 {
+				t.Fatalf("side %d: step %d jumps by %d", side, i, dr+dc)
+			}
+		}
+	}
+}
+
+func TestHilbertCoversAllCells(t *testing.T) {
+	side := 16
+	seen := make(map[[2]int]bool)
+	for _, c := range HilbertCurve(side) {
+		if seen[c] {
+			t.Fatalf("duplicate cell %v", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) != side*side {
+		t.Fatalf("covered %d cells", len(seen))
+	}
+}
+
+func TestHilbertVsZOrderEnergy(t *testing.T) {
+	// Ablation: the Hilbert curve's length is exactly n-1 (unit steps);
+	// the Z-order curve pays a constant factor more (~5n/3) but gains the
+	// quadrant arithmetic the scan's summation tree needs.
+	for _, side := range []int{8, 32, 128} {
+		n := int64(side * side)
+		h := HilbertCurveEnergy(side)
+		z := CurveEnergy(side)
+		if h != n-1 {
+			t.Errorf("side %d: hilbert energy %d, want n-1 = %d", side, h, n-1)
+		}
+		if z <= h {
+			t.Errorf("side %d: z-order energy %d not above hilbert %d", side, z, h)
+		}
+		if z > 2*n {
+			t.Errorf("side %d: z-order energy %d not linear", side, z)
+		}
+	}
+}

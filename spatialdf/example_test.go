@@ -1,0 +1,56 @@
+package spatialdf_test
+
+import (
+	"fmt"
+
+	"repro/spatialdf"
+)
+
+// The basic primitives operate on plain slices and report the Spatial
+// Computer Model costs of each call.
+func ExampleScan() {
+	prefix, cost := spatialdf.Scan([]float64{1, 2, 3, 4})
+	fmt.Println(prefix, cost.Depth > 0)
+	// Output: [1 3 6 10] true
+}
+
+func ExampleSort() {
+	sorted, _ := spatialdf.Sort([]float64{3, 1, 2})
+	fmt.Println(sorted)
+	// Output: [1 2 3]
+}
+
+func ExampleSelect() {
+	v, _ := spatialdf.Select([]float64{9, 4, 7, 1, 8}, 2, 1)
+	fmt.Println(v)
+	// Output: 4
+}
+
+func ExampleSegmentedScan() {
+	out, _ := spatialdf.SegmentedScan(
+		[]float64{1, 2, 3, 4},
+		[]bool{true, false, true, false},
+	)
+	fmt.Println(out)
+	// Output: [1 3 3 7]
+}
+
+func ExampleSpMV() {
+	a := spatialdf.Matrix{N: 2, Entries: []spatialdf.MatrixEntry{
+		{Row: 0, Col: 0, Val: 2},
+		{Row: 1, Col: 0, Val: 1},
+		{Row: 1, Col: 1, Val: 3},
+	}}
+	y, _, err := spatialdf.SpMV(a, []float64{10, 1})
+	fmt.Println(y, err)
+	// Output: [20 13] <nil>
+}
+
+func ExampleTree_RootfixSum() {
+	// A path 0 -> 1 -> 2 with unit values: each node's rootfix is its
+	// depth + 1.
+	t := spatialdf.Tree{Parent: []int{0, 0, 1}}
+	sums, _, err := t.RootfixSum([]float64{1, 1, 1})
+	fmt.Println(sums, err)
+	// Output: [1 2 3] <nil>
+}

@@ -1,0 +1,72 @@
+package spatialdf
+
+import (
+	"sort"
+	"testing"
+)
+
+// bytesToFloats derives a small float slice from fuzz bytes.
+func bytesToFloats(data []byte) []float64 {
+	if len(data) > 64 {
+		data = data[:64]
+	}
+	out := make([]float64, len(data))
+	for i, b := range data {
+		out[i] = float64(int8(b))
+	}
+	return out
+}
+
+func FuzzSortMatchesStdlib(f *testing.F) {
+	f.Add([]byte{3, 1, 2})
+	f.Add([]byte{255, 0, 128, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := bytesToFloats(data)
+		if len(vals) == 0 {
+			return
+		}
+		got, _ := Sort(vals)
+		want := append([]float64(nil), vals...)
+		sort.Float64s(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sorted[%d] = %v, want %v (input %v)", i, got[i], want[i], vals)
+			}
+		}
+	})
+}
+
+func FuzzScanMatchesPrefix(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := bytesToFloats(data)
+		if len(vals) == 0 {
+			return
+		}
+		got, _ := Scan(vals)
+		acc := 0.0
+		for i, v := range vals {
+			acc += v
+			if got[i] != acc {
+				t.Fatalf("prefix[%d] = %v, want %v (input %v)", i, got[i], acc, vals)
+			}
+		}
+	})
+}
+
+func FuzzSelectMatchesSorted(f *testing.F) {
+	f.Add([]byte{9, 1, 5}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw uint8) {
+		vals := bytesToFloats(data)
+		if len(vals) == 0 {
+			return
+		}
+		k := int(kRaw)%len(vals) + 1
+		got, _ := Select(vals, k, 42)
+		want := append([]float64(nil), vals...)
+		sort.Float64s(want)
+		if got != want[k-1] {
+			t.Fatalf("Select(%v, %d) = %v, want %v", vals, k, got, want[k-1])
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package spatialdf
+
+import (
+	"repro/internal/gnn"
+	"repro/internal/machine"
+)
+
+// GraphEdge is one directed, weighted edge of a GNN input graph.
+type GraphEdge struct {
+	U, V int
+	W    float64
+}
+
+// GNNGraph is the input graph of a sort-pooling GNN.
+type GNNGraph struct {
+	Nodes int
+	Edges []GraphEdge
+}
+
+// GNN is a sort-pooling graph neural network (Zhang et al., AAAI'18; the
+// paper's motivating application for spatial sorting): Layers rounds of
+// degree-normalized mean aggregation with ReLU — each channel one spatial
+// SpMV — followed by a SortPooling layer that orders nodes by their last
+// feature channel with the energy-optimal 2-D mergesort and keeps the TopK
+// highest-scoring nodes.
+type GNN struct {
+	Layers int
+	TopK   int
+}
+
+// Forward runs the network over the node features (channel-major:
+// features[c][v]) and returns the pooled TopK x channels block, the
+// selected node ids (highest score first), and the Spatial Computer Model
+// cost of the whole pass.
+func (g GNN) Forward(graph GNNGraph, features [][]float64) ([][]float64, []int, Metrics, error) {
+	ig := gnn.Graph{Nodes: graph.Nodes, Edges: make([]gnn.Edge, len(graph.Edges))}
+	for i, e := range graph.Edges {
+		ig.Edges[i] = gnn.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	m := machine.New()
+	pooled, picked, err := gnn.Model{Layers: g.Layers, TopK: g.TopK}.Forward(m, ig, gnn.Features(features))
+	if err != nil {
+		return nil, nil, Metrics{}, err
+	}
+	return pooled, picked, fromMachine(m), nil
+}

@@ -1,0 +1,37 @@
+package spatialdf
+
+import (
+	"repro/internal/machine"
+	"repro/internal/tree"
+)
+
+// Tree is a rooted tree given by a parent array: Parent[v] is v's parent
+// and Parent[root] == root.
+type Tree struct {
+	Parent []int
+}
+
+// RootfixSum returns, for every node, the sum of values along the
+// root-to-node path (inclusive) — the treefix primitive of the spatial
+// tree-algorithms line of work ([38] in the paper), here reduced to one
+// energy-optimal Z-order scan over the tree's Euler tour: Θ(n) energy and
+// O(log n) depth for any tree shape.
+func (t Tree) RootfixSum(values []float64) ([]float64, Metrics, error) {
+	m := machine.New()
+	out, err := tree.RootfixSum(m, tree.Tree{Parent: t.Parent}, values)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return out, fromMachine(m), nil
+}
+
+// LeaffixSum returns, for every node, the sum of values over its subtree
+// (inclusive), with the same costs as RootfixSum.
+func (t Tree) LeaffixSum(values []float64) ([]float64, Metrics, error) {
+	m := machine.New()
+	out, err := tree.LeaffixSum(m, tree.Tree{Parent: t.Parent}, values)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return out, fromMachine(m), nil
+}
