@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check bench test
+
+# check is the full gate: build, vet and the race-enabled test suite.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+test:
+	$(GO) test ./...
+
+# bench reruns the simulator micro-benchmarks plus the end-to-end Table I
+# sort and rewrites BENCH_machine.json. The recorded seed_baseline object
+# (the pre-optimization numbers) is preserved across rewrites.
+bench:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkMachine' -benchmem ./internal/machine/; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkTable1Sort' -benchtime 1x . ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_machine.json
+	@echo wrote BENCH_machine.json

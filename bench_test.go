@@ -1,10 +1,11 @@
 // Package repro's root benchmarks regenerate, one testing.B target per
 // experiment ID of DESIGN.md, the paper's evaluation artifacts. Each bench
-// runs the algorithm on a fresh simulated machine and reports the Spatial
-// Computer Model costs (energy, depth, distance) as custom metrics next to
-// the usual wall-clock numbers; `go test -bench=. -benchmem` prints them
-// all. The spatialbench command runs the same measurements as full
-// parameter sweeps with fitted scaling exponents.
+// reuses one simulated machine across iterations (machine.Reset zeroes the
+// grid in place, keeping the tile and register-name allocations warm) and
+// reports the Spatial Computer Model costs (energy, depth, distance) as
+// custom metrics next to the usual wall-clock numbers; `go test -bench=.
+// -benchmem` prints them all. The spatialbench command runs the same
+// measurements as full parameter sweeps with fitted scaling exponents.
 package repro
 
 import (
@@ -52,9 +53,9 @@ func BenchmarkTable1Scan(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(1))
 			vals := workload.Array(workload.Random, n, rng)
-			var m *machine.Machine
+			m := machine.New()
 			for i := 0; i < b.N; i++ {
-				m = machine.New()
+				m.Reset()
 				r := grid.SquareFor(machine.Coord{}, n)
 				placeBench(m, grid.ZOrder(r), vals)
 				collectives.Scan(m, r, "v", collectives.Add, 0.0)
@@ -67,13 +68,13 @@ func BenchmarkTable1Scan(b *testing.B) {
 // BenchmarkTable1Sort — Table I row 2 (Theorem V.8): Theta(n^{3/2}) energy,
 // O(log^3 n) depth, Theta(sqrt n) distance.
 func BenchmarkTable1Sort(b *testing.B) {
-	for _, n := range []int{1024, 4096} {
+	for _, n := range []int{1024, 4096, 16384} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(2))
 			vals := workload.Array(workload.Random, n, rng)
-			var m *machine.Machine
+			m := machine.New()
 			for i := 0; i < b.N; i++ {
-				m = machine.New()
+				m.Reset()
 				r := grid.SquareFor(machine.Coord{}, n)
 				placeBench(m, grid.RowMajor(r), vals)
 				core.MergeSort(m, r, "v", order.Float64)
@@ -90,9 +91,9 @@ func BenchmarkTable1Select(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(3))
 			vals := workload.Array(workload.Random, n, rng)
-			var m *machine.Machine
+			m := machine.New()
 			for i := 0; i < b.N; i++ {
-				m = machine.New()
+				m.Reset()
 				r := grid.SquareFor(machine.Coord{}, n)
 				placeBench(m, grid.RowMajor(r), vals)
 				core.Select(m, r, "v", n/2, order.Float64, rand.New(rand.NewSource(int64(i))))
@@ -110,9 +111,9 @@ func BenchmarkTable1SpMV(b *testing.B) {
 			rng := rand.New(rand.NewSource(4))
 			a := workload.SparseMatrix(workload.MatUniform, nnz, nnz, rng)
 			x := workload.Array(workload.Random, nnz, rng)
-			var m *machine.Machine
+			m := machine.New()
 			for i := 0; i < b.N; i++ {
-				m = machine.New()
+				m.Reset()
 				if _, err := spmv.Multiply(m, a, x); err != nil {
 					b.Fatal(err)
 				}
@@ -126,9 +127,9 @@ func BenchmarkTable1SpMV(b *testing.B) {
 func BenchmarkBroadcast(b *testing.B) {
 	for _, sh := range [][2]int{{64, 64}, {4096, 1}, {256, 16}} {
 		b.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(b *testing.B) {
-			var m *machine.Machine
+			m := machine.New()
 			for i := 0; i < b.N; i++ {
-				m = machine.New()
+				m.Reset()
 				r := grid.Rect{Origin: machine.Coord{}, H: sh[0], W: sh[1]}
 				m.Set(r.Origin, "v", 1.0)
 				collectives.Broadcast(m, r, "v")
@@ -144,18 +145,18 @@ func BenchmarkReduce(b *testing.B) {
 	const side = 64
 	r := grid.Square(machine.Coord{}, side)
 	b.Run("2d", func(b *testing.B) {
-		var m *machine.Machine
+		m := machine.New()
 		for i := 0; i < b.N; i++ {
-			m = machine.New()
+			m.Reset()
 			placeBench(m, grid.RowMajor(r), nil)
 			collectives.Reduce(m, r, "v", collectives.Add)
 		}
 		report(b, m)
 	})
 	b.Run("tree-baseline", func(b *testing.B) {
-		var m *machine.Machine
+		m := machine.New()
 		for i := 0; i < b.N; i++ {
-			m = machine.New()
+			m.Reset()
 			placeBench(m, grid.RowMajor(r), nil)
 			collectives.ReduceTrack(m, grid.RowMajor(r), "v", collectives.Add)
 		}
@@ -169,9 +170,9 @@ func BenchmarkScanBaselines(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	vals := workload.Array(workload.Random, n, rng)
 	run := func(b *testing.B, f func(m *machine.Machine, r grid.Rect)) {
-		var m *machine.Machine
+		m := machine.New()
 		for i := 0; i < b.N; i++ {
-			m = machine.New()
+			m.Reset()
 			r := grid.SquareFor(machine.Coord{}, n)
 			f(m, r)
 		}
@@ -204,9 +205,9 @@ func BenchmarkBitonicSort(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(6))
 			vals := workload.Array(workload.Random, n, rng)
-			var m *machine.Machine
+			m := machine.New()
 			for i := 0; i < b.N; i++ {
-				m = machine.New()
+				m.Reset()
 				r := grid.SquareFor(machine.Coord{}, n)
 				placeBench(m, grid.RowMajor(r), vals)
 				sortnet.Sort(m, grid.RowMajor(r), "v", n, order.Float64)
@@ -228,9 +229,9 @@ func BenchmarkBitonicMerge(b *testing.B) {
 		half[i] = float64(i)
 		half[n-1-i] = float64(i) + 0.5
 	}
-	var m *machine.Machine
+	m := machine.New()
 	for i := 0; i < b.N; i++ {
-		m = machine.New()
+		m.Reset()
 		r := grid.SquareFor(machine.Coord{}, n)
 		placeBench(m, grid.RowMajor(r), half)
 		sortnet.Run(m, sortnet.BitonicMerge(n), grid.RowMajor(r), "v", order.Float64)
@@ -244,9 +245,9 @@ func BenchmarkMeshSort(b *testing.B) {
 	const n = 1024
 	rng := rand.New(rand.NewSource(8))
 	vals := workload.Array(workload.Random, n, rng)
-	var m *machine.Machine
+	m := machine.New()
 	for i := 0; i < b.N; i++ {
-		m = machine.New()
+		m.Reset()
 		r := grid.SquareFor(machine.Coord{}, n)
 		placeBench(m, grid.RowMajor(r), vals)
 		sortnet.Shearsort(m, r, "v", order.Float64)
@@ -260,9 +261,9 @@ func BenchmarkAllPairs(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(9))
 			vals := workload.Array(workload.Random, n, rng)
-			var m *machine.Machine
+			m := machine.New()
 			for i := 0; i < b.N; i++ {
-				m = machine.New()
+				m.Reset()
 				r := grid.SquareFor(machine.Coord{}, n)
 				tr := grid.RowMajor(r)
 				placeBench(m, tr, vals)
@@ -286,9 +287,9 @@ func BenchmarkSelectSorted(b *testing.B) {
 			for side*side < half {
 				side *= 2
 			}
-			var m *machine.Machine
+			m := machine.New()
 			for i := 0; i < b.N; i++ {
-				m = machine.New()
+				m.Reset()
 				ra := grid.Square(machine.Coord{}, side)
 				rb := grid.Square(machine.Coord{Row: 0, Col: ra.W + 1}, side)
 				tA := grid.Slice(grid.RowMajor(ra), 0, half)
@@ -309,9 +310,9 @@ func BenchmarkMerge2D(b *testing.B) {
 	for _, n := range []int{2048, 8192} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			quarter := n / 2
-			var m *machine.Machine
+			m := machine.New()
 			for i := 0; i < b.N; i++ {
-				m = machine.New()
+				m.Reset()
 				side := 2
 				for side*side/4 < quarter {
 					side *= 2
@@ -338,9 +339,9 @@ func BenchmarkPermutation(b *testing.B) {
 	for _, kind := range []workload.PermKind{workload.PermReversal, workload.PermTranspose, workload.PermRandom} {
 		b.Run(string(kind), func(b *testing.B) {
 			perm := workload.Permutation(kind, n, rng)
-			var m *machine.Machine
+			m := machine.New()
 			for i := 0; i < b.N; i++ {
-				m = machine.New()
+				m.Reset()
 				r := grid.SquareFor(machine.Coord{}, n)
 				tr := grid.RowMajor(r)
 				placeBench(m, tr, nil)
@@ -355,9 +356,9 @@ func BenchmarkPermutation(b *testing.B) {
 // per EREW step (TreeSum as the workload).
 func BenchmarkEREW(b *testing.B) {
 	const n = 256
-	var m *machine.Machine
+	m := machine.New()
 	for i := 0; i < b.N; i++ {
-		m = machine.New()
+		m.Reset()
 		init := make([]machine.Value, n)
 		for j := range init {
 			init[j] = 1.0
@@ -375,9 +376,9 @@ func BenchmarkEREW(b *testing.B) {
 func BenchmarkCRCW(b *testing.B) {
 	for _, p := range []int{256, 1024} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
-			var m *machine.Machine
+			m := machine.New()
 			for i := 0; i < b.N; i++ {
-				m = machine.New()
+				m.Reset()
 				sim := pram.New(m, pram.ConcurrentRead{P: p}, pram.CRCW, []machine.Value{1.0})
 				if err := sim.Run(); err != nil {
 					b.Fatal(err)
@@ -396,9 +397,9 @@ func BenchmarkSpMVvsPRAM(b *testing.B) {
 	a := workload.SparseMatrix(workload.MatUniform, n, 4*n, rng)
 	x := workload.Array(workload.Random, n, rng)
 	b.Run("direct", func(b *testing.B) {
-		var m *machine.Machine
+		m := machine.New()
 		for i := 0; i < b.N; i++ {
-			m = machine.New()
+			m.Reset()
 			if _, err := spmv.Multiply(m, a, x); err != nil {
 				b.Fatal(err)
 			}
@@ -406,9 +407,9 @@ func BenchmarkSpMVvsPRAM(b *testing.B) {
 		report(b, m)
 	})
 	b.Run("pram-baseline", func(b *testing.B) {
-		var m *machine.Machine
+		m := machine.New()
 		for i := 0; i < b.N; i++ {
-			m = machine.New()
+			m.Reset()
 			if _, err := spmv.MultiplyPRAM(m, a, x); err != nil {
 				b.Fatal(err)
 			}
@@ -433,9 +434,9 @@ func BenchmarkTreefix(b *testing.B) {
 			for i := range values {
 				values[i] = 1
 			}
-			var m *machine.Machine
+			m := machine.New()
 			for i := 0; i < b.N; i++ {
-				m = machine.New()
+				m.Reset()
 				if _, err := tree.RootfixSum(m, tr, values); err != nil {
 					b.Fatal(err)
 				}
@@ -459,9 +460,9 @@ func BenchmarkGNNForward(b *testing.B) {
 		feats[c] = workload.Array(workload.Random, nodes, rng)
 	}
 	md := gnn.Model{Layers: 2, TopK: 16}
-	var m *machine.Machine
+	m := machine.New()
 	for i := 0; i < b.N; i++ {
-		m = machine.New()
+		m.Reset()
 		if _, _, err := md.Forward(m, g, feats); err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,96 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON document of per-benchmark numbers, so benchmark runs
+// can be committed and diffed. Units become keys: "ns/op" -> "ns_per_op",
+// "allocs/op" -> "allocs_per_op", and the repository's custom model-cost
+// metrics ("energy/op", ...) come along for free.
+//
+// With -o FILE the document is written to FILE; if FILE already exists its
+// top-level "seed_baseline" object is preserved, so regenerated results
+// keep the recorded pre-optimization numbers for comparison.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/machine/ | go run ./cmd/benchjson -o BENCH_machine.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func parse(r *bufio.Scanner) map[string]map[string]float64 {
+	benches := make(map[string]map[string]float64)
+	for r.Scan() {
+		fields := strings.Fields(r.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		iters, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		res := map[string]float64{"iterations": iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			res[strings.ReplaceAll(fields[i+1], "/", "_per_")] = v
+		}
+		benches[name] = res
+	}
+	return benches
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout); an existing file's seed_baseline is preserved")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	benches := parse(sc)
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	doc := map[string]any{"benchmarks": benches}
+	if *out != "" {
+		if data, err := os.ReadFile(*out); err == nil {
+			var old map[string]any
+			if json.Unmarshal(data, &old) == nil {
+				if sb, ok := old["seed_baseline"]; ok {
+					doc["seed_baseline"] = sb
+				}
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

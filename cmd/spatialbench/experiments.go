@@ -18,9 +18,15 @@ import (
 	"repro/internal/workload"
 )
 
-// measure runs one computation on a fresh machine and returns its costs.
+// sweepMachine is reused across all sweep points: machine.Reset zeroes the
+// grid in place, so consecutive measurements skip reallocating the tile
+// storage and the register-name intern table.
+var sweepMachine = machine.New()
+
+// measure runs one computation on a reset machine and returns its costs.
 func measure(run func(m *machine.Machine)) machine.Metrics {
-	m := machine.New()
+	m := sweepMachine
+	m.Reset()
 	run(m)
 	return m.Metrics()
 }
@@ -611,6 +617,10 @@ func runDepthScaling(cfg config) {
 func runCongestion(cfg config) {
 	rng := rand.New(rand.NewSource(cfg.seed))
 	t := analysis.NewTable("algorithm", "n", "energy", "max link load", "load/sqrt(n)")
+	// One tracked machine for the whole sweep; Reset zeroes the link loads
+	// in place and keeps tracking enabled.
+	m := machine.New()
+	m.EnableCongestionTracking()
 	for _, n := range sizes(cfg.quick, 1024, 4096, 16384) {
 		vals := workload.Array(workload.Random, n, rng)
 		type algo struct {
@@ -643,8 +653,7 @@ func runCongestion(cfg config) {
 				}})
 		}
 		for _, a := range algos {
-			m := machine.New()
-			m.EnableCongestionTracking()
+			m.Reset()
 			a.run(m, grid.SquareFor(machine.Coord{}, n))
 			t.AddRow(a.name, n, float64(m.Metrics().Energy), float64(m.MaxCongestion()),
 				float64(m.MaxCongestion())/sqrtf(n))

@@ -44,6 +44,9 @@ func main() {
 	fmt.Println("\nsegmented scan (the SpMV building block):")
 	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8}
 	heads := []bool{true, false, false, true, false, true, false, false}
-	out, m := spatialdf.SegmentedScan(vals, heads)
+	out, m, err := spatialdf.SegmentedScan(vals, heads)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("  values:   %v\n  heads:    %v\n  prefixes: %v\n  cost:     %v\n", vals, heads, out, m)
 }

@@ -37,7 +37,10 @@ func main() {
 	var selCost spatialdf.Metrics
 	summary := map[string]float64{}
 	for name, k := range ranks {
-		v, m := spatialdf.Select(data, k, int64(k))
+		v, m, err := spatialdf.Select(data, k, spatialdf.WithSeed(int64(k)))
+		if err != nil {
+			panic(err)
+		}
 		summary[name] = v
 		selCost = selCost.Sequential(m)
 	}

@@ -32,7 +32,10 @@ func main() {
 
 	// Rank selection: the median in Theta(n) energy — a polynomial factor
 	// cheaper than sorting.
-	med, m := spatialdf.Median(vals, 1)
+	med, m, err := spatialdf.Median(vals)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("median    n=%-6d median=%.4f           %v\n", len(vals), med, m)
 
 	// Sparse matrix-vector multiplication: sort + segmented scan.

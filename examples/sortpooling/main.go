@@ -89,7 +89,10 @@ func main() {
 
 	// A cheaper alternative when only the k-th threshold is needed: rank
 	// selection instead of a full sort (linear energy, Theorem VI.3).
-	threshold, selCost := spatialdf.Select(scores, numNodes-topK+1, 3)
+	threshold, selCost, err := spatialdf.Select(scores, numNodes-topK+1, spatialdf.WithSeed(3))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\nthreshold via rank selection instead of sorting: score >= %.3f\n  %v\n", threshold, selCost)
 	fmt.Printf("  selection/sort energy: %.2fx\n", float64(selCost.Energy)/float64(poolCost.Energy))
 }

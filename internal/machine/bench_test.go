@@ -1,0 +1,123 @@
+// Micro-benchmarks of the simulator's hot paths: message delivery, parallel
+// rounds, independent forks, register access and grid reuse. `make bench`
+// runs these (plus the end-to-end BenchmarkTable1Sort) and rewrites
+// BENCH_machine.json at the repository root.
+package machine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkMachineSendChain measures a long relay chain: one Get + one
+// delivery per operation, all within or between adjacent tiles.
+func BenchmarkMachineSendChain(b *testing.B) {
+	m := New()
+	m.Set(Coord{0, 0}, "v", 1.0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(Coord{0, i % 64}, "v", Coord{0, i%64 + 1}, "v")
+	}
+}
+
+// BenchmarkMachineSendScattered measures sends between PEs in different
+// tiles (cache-unfriendly access pattern).
+func BenchmarkMachineSendScattered(b *testing.B) {
+	m := New()
+	const stride = 61 // co-prime with the tile side
+	for i := 0; i < 64; i++ {
+		m.Set(Coord{i * stride % 997, i * stride * 7 % 997}, "v", 1.0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := Coord{i * stride % 997, i * stride * 7 % 997}
+		c := Coord{(i + 1) * stride % 997, (i + 1) * stride * 7 % 997}
+		m.SendValue(a, c, "v", 1.0)
+	}
+}
+
+// BenchmarkMachineSetGet measures the register file fast path.
+func BenchmarkMachineSetGet(b *testing.B) {
+	m := New()
+	c := Coord{5, 5}
+	m.Set(c, "v", 1.0)
+	m.Set(c, "w", 2.0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Set(c, "v", i)
+		_ = m.Get(c, "v")
+	}
+}
+
+// BenchmarkMachinePar measures a parallel round of k messages: steady-state
+// rounds must not allocate (reused pending buffer, per-PE snapshots).
+func BenchmarkMachinePar(b *testing.B) {
+	for _, k := range []int{16, 256} {
+		b.Run(fmt.Sprintf("msgs=%d", k), func(b *testing.B) {
+			m := New()
+			vals := make([]Value, k) // pre-boxed so the bench measures the machine, not interface conversion
+			for i := 0; i < k; i++ {
+				m.Set(Coord{0, i}, "v", float64(i))
+				vals[i] = float64(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Par(func(send func(from, to Coord, dstReg Reg, v Value)) {
+					for j := 0; j < k; j++ {
+						send(Coord{0, j}, Coord{1, j}, "v", vals[j])
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkMachineIndependent measures a two-branch fork relaying through a
+// shared PE (journal + rollback machinery).
+func BenchmarkMachineIndependent(b *testing.B) {
+	m := New()
+	m.Set(Coord{0, 0}, "v", 1.0)
+	m.Set(Coord{9, 9}, "v", 2.0)
+	shared := Coord{5, 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Independent(
+			func() { m.SendValue(Coord{0, 0}, shared, "a", 1.0) },
+			func() { m.SendValue(Coord{9, 9}, shared, "b", 2.0) },
+		)
+	}
+}
+
+// BenchmarkMachineReset measures grid reuse for sweeps: populate a 64x64
+// region, then Reset.
+func BenchmarkMachineReset(b *testing.B) {
+	m := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < 64; r++ {
+			for c := 0; c < 64; c++ {
+				m.Set(Coord{r, c}, "v", 1.0)
+			}
+		}
+		m.Reset()
+	}
+}
+
+// BenchmarkMachineCongestion measures XY-routed link accounting on a
+// diagonal walk (one bump per hop).
+func BenchmarkMachineCongestion(b *testing.B) {
+	m := New()
+	m.EnableCongestionTracking()
+	m.Set(Coord{0, 0}, "v", 1.0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SendValue(Coord{0, 0}, Coord{31, 31}, "v", 1.0)
+	}
+}

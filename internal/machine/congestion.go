@@ -8,6 +8,12 @@ package machine
 // beyond the paper's metrics, used by the congestion experiment and the
 // visualization tool; tracking costs O(distance) bookkeeping per message,
 // so it is off by default.
+//
+// Link loads use the same 16x16 tiling as the PE grid: each tile holds a
+// dense array of the four outgoing directed links of its 256 PEs, and a
+// one-entry tile cache exploits the hop-by-hop locality of XY walks, so
+// the per-hop cost is an index computation rather than a map probe on a
+// (coordinate, direction) key.
 
 // linkDir identifies the four mesh directions.
 type linkDir uint8
@@ -19,22 +25,25 @@ const (
 	linkNorth
 )
 
-type link struct {
-	from Coord
-	dir  linkDir
+// congTile holds the traversal counts of the 4 outgoing directed links of
+// each PE in one 16x16 tile.
+type congTile struct {
+	load [tileSide * tileSide * 4]int64
 }
 
 // congestion holds per-link traversal counts.
 type congestion struct {
-	load map[link]int64
-	peak int64
+	tiles   map[Coord]*congTile
+	lastKey Coord
+	last    *congTile
+	peak    int64
 }
 
 // EnableCongestionTracking starts counting per-link traffic under
 // dimension-ordered (column-first, then row) routing. Call before running
 // the algorithm of interest.
 func (m *Machine) EnableCongestionTracking() {
-	m.cong = &congestion{load: make(map[link]int64)}
+	m.cong = &congestion{tiles: make(map[Coord]*congTile)}
 }
 
 // MaxCongestion returns the highest traversal count over all directed mesh
@@ -53,33 +62,60 @@ func (m *Machine) TotalLinkTraversals() int64 {
 		return 0
 	}
 	var total int64
-	for _, v := range m.cong.load {
-		total += v
+	for _, t := range m.cong.tiles {
+		for _, v := range t.load {
+			total += v
+		}
 	}
 	return total
+}
+
+// reset clears all link loads while keeping tracking enabled. Tiles are
+// zeroed in place so a Reset machine reuses their allocations.
+func (c *congestion) reset() {
+	for _, t := range c.tiles {
+		t.load = [tileSide * tileSide * 4]int64{}
+	}
+	c.peak = 0
+}
+
+// bump increments the load of the directed link leaving at in direction d.
+func (c *congestion) bump(at Coord, d linkDir) {
+	k := tileKey(at)
+	t := c.last
+	if t == nil || c.lastKey != k {
+		var ok bool
+		t, ok = c.tiles[k]
+		if !ok {
+			t = &congTile{}
+			c.tiles[k] = t
+		}
+		c.lastKey, c.last = k, t
+	}
+	i := tileIndex(at)<<2 | int(d)
+	t.load[i]++
+	if t.load[i] > c.peak {
+		c.peak = t.load[i]
+	}
 }
 
 // routeMessage walks the X-then-Y path from a to b, bumping link loads.
 func (c *congestion) routeMessage(a, b Coord) {
 	cur := a
-	step := func(d linkDir, dr, dc int) {
-		l := link{from: cur, dir: d}
-		c.load[l]++
-		if c.load[l] > c.peak {
-			c.peak = c.load[l]
-		}
-		cur = cur.Add(dr, dc)
-	}
 	for cur.Col < b.Col {
-		step(linkEast, 0, 1)
+		c.bump(cur, linkEast)
+		cur.Col++
 	}
 	for cur.Col > b.Col {
-		step(linkWest, 0, -1)
+		c.bump(cur, linkWest)
+		cur.Col--
 	}
 	for cur.Row < b.Row {
-		step(linkSouth, 1, 0)
+		c.bump(cur, linkSouth)
+		cur.Row++
 	}
 	for cur.Row > b.Row {
-		step(linkNorth, -1, 0)
+		c.bump(cur, linkNorth)
+		cur.Row--
 	}
 }

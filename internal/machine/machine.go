@@ -21,6 +21,19 @@
 // clock, so a PE can emit many mutually independent messages, matching the
 // model's definition of dependent-message chains. Local computation is free:
 // the model counts messages only.
+//
+// # Storage layout
+//
+// The grid is stored as fixed-size 16x16 tiles of contiguous PE structs in a
+// map keyed by tile coordinate, with a one-entry tile cache in front of the
+// map. The spatial locality of the algorithms (neighbor exchanges, subgrid
+// recursions) means most consecutive accesses land in the same tile, so the
+// common case is one shift/mask index computation instead of a map probe per
+// PE. Register names are interned to small integer ids once per machine, so
+// the per-PE register scan compares ints, not strings. Par and Independent
+// reuse their round buffers across calls, making steady-state simulation
+// allocation-free; Reset reuses the grid (and the per-PE register slices)
+// across runs of a sweep.
 package machine
 
 import (
@@ -60,6 +73,11 @@ type Value = any
 // Reg names a register in a PE's O(1)-sized register file.
 type Reg = string
 
+// regID is an interned register name. Interning happens once per (machine,
+// name) pair; the per-PE register file stores ids so the hot-path scan is an
+// integer compare.
+type regID int32
+
 // clock is the causality clock of a PE: the longest dependent-message chain
 // ending at the PE, measured in hops (depth) and in summed Manhattan
 // distance (dist). The two maxima may be achieved by different chains; both
@@ -79,23 +97,37 @@ func (c *clock) merge(depth, dist int64) {
 }
 
 // regSlot is one named register. PEs hold O(1) registers, so the register
-// file is a small slice scanned linearly — much faster than a map for the
-// simulator's hot path.
+// file is a small slice scanned linearly with interned-id compares.
 type regSlot struct {
-	name Reg
-	v    Value
+	id regID
+	v  Value
 }
 
-// pe is the state of one processing element.
+// pe is the state of one processing element. PEs live by value inside
+// tiles; a nil-regs, untouched pe costs nothing beyond its tile slot.
 type pe struct {
 	regs    []regSlot
 	clk     clock
 	peakReg int
+	// touched marks PEs that have held a value or participated in a
+	// message; tiles allocate 256 PEs at a time, so membership cannot be
+	// inferred from allocation.
+	touched bool
+	// snapClk/snapSeen implement Par's start-of-round clock snapshot
+	// without a per-round map: a snapshot is valid iff snapSeen equals the
+	// machine's current round stamp.
+	snapClk  clock
+	snapSeen uint64
+	// indepSeen is the generation of the innermost active Independent
+	// branch that has journaled this PE. Branch generations increase
+	// monotonically down the stack, so the branches that have NOT seen the
+	// PE are exactly the suffix of the stack with generation > indepSeen.
+	indepSeen uint64
 }
 
-func (p *pe) lookup(name Reg) (Value, bool) {
+func (p *pe) lookup(id regID) (Value, bool) {
 	for i := range p.regs {
-		if p.regs[i].name == name {
+		if p.regs[i].id == id {
 			return p.regs[i].v, true
 		}
 	}
@@ -103,19 +135,19 @@ func (p *pe) lookup(name Reg) (Value, bool) {
 }
 
 // set stores v, reusing an existing slot when present.
-func (p *pe) set(name Reg, v Value) {
+func (p *pe) set(id regID, v Value) {
 	for i := range p.regs {
-		if p.regs[i].name == name {
+		if p.regs[i].id == id {
 			p.regs[i].v = v
 			return
 		}
 	}
-	p.regs = append(p.regs, regSlot{name, v})
+	p.regs = append(p.regs, regSlot{id, v})
 }
 
-func (p *pe) del(name Reg) {
+func (p *pe) del(id regID) {
 	for i := range p.regs {
-		if p.regs[i].name == name {
+		if p.regs[i].id == id {
 			last := len(p.regs) - 1
 			p.regs[i] = p.regs[last]
 			p.regs[last] = regSlot{}
@@ -123,6 +155,28 @@ func (p *pe) del(name Reg) {
 			return
 		}
 	}
+}
+
+// Tiles are 16x16: big enough that subgrid recursions stay within a handful
+// of tiles, small enough that sparse access patterns don't waste memory.
+const (
+	tileShift = 4
+	tileSide  = 1 << tileShift
+	tileMask  = tileSide - 1
+)
+
+// tile is a dense block of 256 PEs. Arithmetic shift and two's-complement
+// masking make the key/index math correct for negative coordinates too.
+type tile struct {
+	pes [tileSide * tileSide]pe
+}
+
+func tileKey(c Coord) Coord {
+	return Coord{c.Row >> tileShift, c.Col >> tileShift}
+}
+
+func tileIndex(c Coord) int {
+	return (c.Row&tileMask)<<tileShift | (c.Col & tileMask)
 }
 
 // Metrics is a snapshot of the accumulated cost counters of a Machine.
@@ -163,10 +217,35 @@ func (m Metrics) String() string {
 // debugging. It must not mutate the machine.
 type Tracer func(from, to Coord, v Value)
 
+// delivery is one message of a Par round, buffered until the round closes.
+type delivery struct {
+	to    Coord
+	dst   regID
+	v     Value
+	depth int64
+	dist  int64
+}
+
 // Machine simulates the Spatial Computer Model. The zero value is not
 // usable; construct with New.
 type Machine struct {
-	pes map[Coord]*pe
+	tiles map[Coord]*tile
+	// One-entry tile cache: valid whenever last != nil. Tiles are never
+	// removed (Reset zeroes them in place), so the cache needs no
+	// invalidation.
+	lastKey Coord
+	last    *tile
+
+	touched int // count of PEs with the touched bit set
+
+	// Register interning: a tiny MRU cache in front of the map. Algorithms
+	// address one or two registers in their hot loops ("v", a scratch), and
+	// constant names from the same binary share backing arrays, so the
+	// cache compare is usually a pointer compare.
+	reg0Name, reg1Name Reg
+	reg0ID, reg1ID     regID
+	regIDs             map[string]regID
+	regNames           []string
 
 	energy   int64
 	messages int64
@@ -179,11 +258,22 @@ type Machine struct {
 	// PE, and tests use the limit to enforce the contract.
 	memLimit int
 
-	// indepLogs is the stack of active Independent branches. Each map
-	// records, per PE touched by the branch, the clock the PE had when
+	// indepLogs is the stack of active Independent branches. Each journal
+	// records, once per PE touched by the branch, the clock the PE had when
 	// the branch first delivered to it, so the branch's clock effects can
-	// be rolled back and merged at the join.
-	indepLogs []map[Coord]clock
+	// be rolled back and merged at the join. indepGens holds the strictly
+	// increasing generation of each active branch (see pe.indepSeen);
+	// journalPool and logPool recycle the buffers.
+	indepLogs   [][]indepEntry
+	indepGens   []uint64
+	indepGen    uint64
+	journalPool [][]indepEntry
+	logPool     []map[Coord]clock
+
+	// pendingBuf is Par's reusable delivery buffer; parRound stamps the
+	// per-PE clock snapshots of the current round.
+	pendingBuf []delivery
+	parRound   uint64
 
 	// cong, when non-nil, tracks per-link traffic (see congestion.go).
 	cong *congestion
@@ -194,7 +284,10 @@ type Machine struct {
 // New returns an empty machine with unlimited per-PE memory accounting
 // (peaks are still recorded).
 func New() *Machine {
-	return &Machine{pes: make(map[Coord]*pe)}
+	return &Machine{
+		tiles:  make(map[Coord]*tile),
+		regIDs: make(map[string]regID, 8),
+	}
 }
 
 // NewWithMemoryLimit returns a machine that panics if any PE ever holds more
@@ -208,11 +301,80 @@ func NewWithMemoryLimit(limit int) *Machine {
 // SetTracer installs a message tracer (nil removes it).
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
 
-func (m *Machine) at(c Coord) *pe {
-	p, ok := m.pes[c]
+// regID interns a register name, assigning the next small id on first use.
+func (m *Machine) regID(name Reg) regID {
+	if name == m.reg0Name && len(name) > 0 {
+		return m.reg0ID
+	}
+	if name == m.reg1Name && len(name) > 0 {
+		m.reg0Name, m.reg1Name = name, m.reg0Name
+		m.reg0ID, m.reg1ID = m.reg1ID, m.reg0ID
+		return m.reg0ID
+	}
+	id, ok := m.regIDs[name]
 	if !ok {
-		p = &pe{regs: make([]regSlot, 0, 4)}
-		m.pes[c] = p
+		id = regID(len(m.regNames))
+		m.regIDs[name] = id
+		m.regNames = append(m.regNames, name)
+	}
+	if len(name) > 0 {
+		m.reg0Name, m.reg1Name = name, m.reg0Name
+		m.reg0ID, m.reg1ID = id, m.reg0ID
+	}
+	return id
+}
+
+// regIDLookup is regID without interning: ok=false if the name has never
+// been used on this machine (no PE can hold it).
+func (m *Machine) regIDLookup(name Reg) (regID, bool) {
+	if name == m.reg0Name && len(name) > 0 {
+		return m.reg0ID, true
+	}
+	if name == m.reg1Name && len(name) > 0 {
+		return m.reg1ID, true
+	}
+	id, ok := m.regIDs[name]
+	return id, ok
+}
+
+// peAt returns the PE at c, allocating its tile if needed and marking the PE
+// touched. It is the accessor for every operation that makes a PE exist.
+func (m *Machine) peAt(c Coord) *pe {
+	k := tileKey(c)
+	t := m.last
+	if t == nil || m.lastKey != k {
+		var ok bool
+		t, ok = m.tiles[k]
+		if !ok {
+			t = &tile{}
+			m.tiles[k] = t
+		}
+		m.lastKey, m.last = k, t
+	}
+	p := &t.pes[tileIndex(c)]
+	if !p.touched {
+		p.touched = true
+		m.touched++
+	}
+	return p
+}
+
+// peLookup returns the PE at c if it has been touched, else nil. Read-only
+// accessors use it so queries never make PEs exist.
+func (m *Machine) peLookup(c Coord) *pe {
+	k := tileKey(c)
+	t := m.last
+	if t == nil || m.lastKey != k {
+		var ok bool
+		t, ok = m.tiles[k]
+		if !ok {
+			return nil
+		}
+		m.lastKey, m.last = k, t
+	}
+	p := &t.pes[tileIndex(c)]
+	if !p.touched {
+		return nil
 	}
 	return p
 }
@@ -232,49 +394,91 @@ func (m *Machine) Metrics() Metrics {
 // while keeping register contents and energy. Use it to measure the depth of
 // a later phase in isolation.
 func (m *Machine) ResetClocks() {
-	for _, p := range m.pes {
-		p.clk = clock{}
+	for _, t := range m.tiles {
+		for i := range t.pes {
+			t.pes[i].clk = clock{}
+		}
 	}
 	m.maxDepth, m.maxDist = 0, 0
+}
+
+// Reset returns the machine to its freshly-constructed state — all
+// registers freed, all clocks and cost counters zeroed — while keeping the
+// allocated tiles, per-PE register slices, interning table and round buffers
+// for reuse. Sweeps run many sizes on one machine with Reset between points
+// instead of reallocating the grid each time. The memory limit, tracer and
+// congestion-tracking setting survive; congestion link loads are cleared.
+func (m *Machine) Reset() {
+	for _, t := range m.tiles {
+		for i := range t.pes {
+			p := &t.pes[i]
+			if !p.touched {
+				continue
+			}
+			for j := range p.regs {
+				p.regs[j] = regSlot{}
+			}
+			p.regs = p.regs[:0]
+			p.clk = clock{}
+			p.peakReg = 0
+			p.snapSeen = 0
+			p.indepSeen = 0
+			p.touched = false
+		}
+	}
+	m.touched = 0
+	m.energy, m.messages, m.maxDepth, m.maxDist = 0, 0, 0, 0
+	m.peakMem = 0
+	m.indepLogs = m.indepLogs[:0]
+	m.indepGens = m.indepGens[:0]
+	if m.cong != nil {
+		m.cong.reset()
+	}
 }
 
 // Set stores v into register r of PE c without any communication. It models
 // local computation (free in this model) or initial input placement.
 func (m *Machine) Set(c Coord, r Reg, v Value) {
-	p := m.at(c)
-	p.set(r, v)
+	p := m.peAt(c)
+	p.set(m.regID(r), v)
 	m.noteMem(c, p)
 }
 
 // Get returns the value in register r of PE c. It panics if the register is
 // empty: reading a value a PE never received is an algorithmic bug.
 func (m *Machine) Get(c Coord, r Reg) Value {
-	p, ok := m.pes[c]
-	if !ok {
+	p := m.peLookup(c)
+	if p == nil {
 		panic(fmt.Sprintf("machine: read from untouched PE %v register %q", c, r))
 	}
-	v, ok := p.lookup(r)
-	if !ok {
-		panic(fmt.Sprintf("machine: read from empty register %q of %v", r, c))
+	if id, ok := m.regIDLookup(r); ok {
+		if v, ok := p.lookup(id); ok {
+			return v
+		}
 	}
-	return v
+	panic(fmt.Sprintf("machine: read from empty register %q of %v", r, c))
 }
 
 // Lookup returns the value in register r of PE c, with ok=false if empty.
 func (m *Machine) Lookup(c Coord, r Reg) (Value, bool) {
-	p, ok := m.pes[c]
+	p := m.peLookup(c)
+	if p == nil {
+		return nil, false
+	}
+	id, ok := m.regIDLookup(r)
 	if !ok {
 		return nil, false
 	}
-	v, ok := p.lookup(r)
-	return v, ok
+	return p.lookup(id)
 }
 
 // Del frees register r of PE c. Algorithms free scratch registers so the
 // per-PE memory peak reflects their true O(1) working set.
 func (m *Machine) Del(c Coord, r Reg) {
-	if p, ok := m.pes[c]; ok {
-		p.del(r)
+	if p := m.peLookup(c); p != nil {
+		if id, ok := m.regIDLookup(r); ok {
+			p.del(id)
+		}
 	}
 }
 
@@ -301,7 +505,7 @@ func (m *Machine) SendValue(from, to Coord, dstReg Reg, v Value) {
 		return
 	}
 	d := Dist(from, to)
-	src := m.at(from)
+	src := m.peAt(from)
 	msgDepth := src.clk.depth + 1
 	msgDist := src.clk.dist + d
 
@@ -317,10 +521,10 @@ func (m *Machine) SendValue(from, to Coord, dstReg Reg, v Value) {
 		m.maxDist = msgDist
 	}
 
-	dst := m.at(to)
+	dst := m.peAt(to)
 	m.noteTouch(to, dst)
 	dst.clk.merge(msgDepth, msgDist)
-	dst.set(dstReg, v)
+	dst.set(m.regID(dstReg), v)
 	m.noteMem(to, dst)
 
 	if m.tracer != nil {
@@ -334,6 +538,47 @@ func (m *Machine) Move(from Coord, srcReg Reg, to Coord, dstReg Reg) {
 	if from != to || srcReg != dstReg {
 		m.Del(from, srcReg)
 	}
+}
+
+// indepEntry is one journaled PE of an Independent branch: the PE and the
+// clock it had when the branch first touched it.
+type indepEntry struct {
+	c   Coord
+	p   *pe
+	pre clock
+}
+
+// getLog pops a clock log off the pool (or makes one); putLog clears it and
+// returns it, keeping Independent allocation-free in steady state. The same
+// scheme recycles branch journals.
+func (m *Machine) getLog() map[Coord]clock {
+	if n := len(m.logPool); n > 0 {
+		log := m.logPool[n-1]
+		m.logPool = m.logPool[:n-1]
+		return log
+	}
+	return make(map[Coord]clock)
+}
+
+func (m *Machine) putLog(log map[Coord]clock) {
+	clear(log)
+	m.logPool = append(m.logPool, log)
+}
+
+func (m *Machine) getJournal() []indepEntry {
+	if n := len(m.journalPool); n > 0 {
+		j := m.journalPool[n-1]
+		m.journalPool = m.journalPool[:n-1]
+		return j
+	}
+	return nil
+}
+
+func (m *Machine) putJournal(j []indepEntry) {
+	for i := range j {
+		j[i] = indepEntry{}
+	}
+	m.journalPool = append(m.journalPool, j[:0])
 }
 
 // Independent executes the given tasks as logically parallel branches of
@@ -358,38 +603,50 @@ func (m *Machine) Independent(tasks ...func()) {
 		tasks[0]()
 		return
 	}
-	merged := make(map[Coord]clock)
+	merged := m.getLog()
 	for _, task := range tasks {
-		log := make(map[Coord]clock)
-		m.indepLogs = append(m.indepLogs, log)
+		m.indepGen++
+		m.indepGens = append(m.indepGens, m.indepGen)
+		m.indepLogs = append(m.indepLogs, m.getJournal())
 		task()
-		m.indepLogs = m.indepLogs[:len(m.indepLogs)-1]
-		for c, pre := range log {
-			p := m.pes[c]
-			end := merged[c]
-			end.merge(p.clk.depth, p.clk.dist)
-			merged[c] = end
-			p.clk = pre // roll back for the next branch
+		n := len(m.indepLogs)
+		log := m.indepLogs[n-1]
+		m.indepLogs = m.indepLogs[:n-1]
+		m.indepGens = m.indepGens[:n-1]
+		for i := range log {
+			e := &log[i]
+			end := merged[e.c]
+			end.merge(e.p.clk.depth, e.p.clk.dist)
+			merged[e.c] = end
+			e.p.clk = e.pre // roll back for the next branch
 		}
+		m.putJournal(log)
 	}
 	for c, clk := range merged {
-		p := m.at(c)
+		p := m.peAt(c)
 		// The rolled-back clock is what the fork point left behind; the
 		// join raises it to the branch maxima. Record the touch in any
 		// enclosing branch so nested forks roll back correctly.
 		m.noteTouch(c, p)
 		p.clk.merge(clk.depth, clk.dist)
 	}
+	m.putLog(merged)
 }
 
 // noteTouch records PE p's current clock in every active Independent branch
-// log that has not seen it yet. Must be called before any clock mutation.
+// journal that has not seen it yet. Must be called before any clock
+// mutation. Branch generations increase down the stack and a PE is always
+// journaled into a contiguous suffix of it, so p.indepSeen — the innermost
+// generation that has seen p — makes the already-journaled case one compare.
 func (m *Machine) noteTouch(c Coord, p *pe) {
-	for _, log := range m.indepLogs {
-		if _, ok := log[c]; !ok {
-			log[c] = p.clk
-		}
+	n := len(m.indepGens)
+	if n == 0 || p.indepSeen >= m.indepGens[n-1] {
+		return
 	}
+	for i := n - 1; i >= 0 && m.indepGens[i] > p.indepSeen; i-- {
+		m.indepLogs[i] = append(m.indepLogs[i], indepEntry{c: c, p: p, pre: p.clk})
+	}
+	p.indepSeen = m.indepGens[n-1]
 }
 
 // Par executes a round of logically simultaneous sends: every message
@@ -398,26 +655,22 @@ func (m *Machine) noteTouch(c Coord, p *pe) {
 // the same round. Algorithms use it for parallel steps in which many PEs
 // act at once (compare-exchange levels, permutation routing, PRAM steps).
 // Deliveries are applied in issue order; if two messages target the same
-// register, the later one wins.
+// register, the later one wins. The round callback must only issue sends —
+// it must not invoke Par or Independent itself.
 func (m *Machine) Par(round func(send func(from, to Coord, dstReg Reg, v Value))) {
-	type delivery struct {
-		to     Coord
-		dstReg Reg
-		v      Value
-		depth  int64
-		dist   int64
-	}
-	var pending []delivery
-	snapshot := make(map[Coord]clock)
+	m.parRound++
+	gen := m.parRound
+	pending := m.pendingBuf[:0]
+	m.pendingBuf = nil
 	send := func(from, to Coord, dstReg Reg, v Value) {
 		if from == to {
-			pending = append(pending, delivery{to: to, dstReg: dstReg, v: v})
+			pending = append(pending, delivery{to: to, dst: m.regID(dstReg), v: v})
 			return
 		}
-		clk, ok := snapshot[from]
-		if !ok {
-			clk = m.at(from).clk
-			snapshot[from] = clk
+		src := m.peAt(from)
+		if src.snapSeen != gen {
+			src.snapClk = src.clk
+			src.snapSeen = gen
 		}
 		d := Dist(from, to)
 		m.energy += d
@@ -425,7 +678,8 @@ func (m *Machine) Par(round func(send func(from, to Coord, dstReg Reg, v Value))
 		if m.cong != nil {
 			m.cong.routeMessage(from, to)
 		}
-		msg := delivery{to: to, dstReg: dstReg, v: v, depth: clk.depth + 1, dist: clk.dist + d}
+		msg := delivery{to: to, dst: m.regID(dstReg), v: v,
+			depth: src.snapClk.depth + 1, dist: src.snapClk.dist + d}
 		if msg.depth > m.maxDepth {
 			m.maxDepth = msg.depth
 		}
@@ -438,13 +692,18 @@ func (m *Machine) Par(round func(send func(from, to Coord, dstReg Reg, v Value))
 		}
 	}
 	round(send)
-	for _, msg := range pending {
-		dst := m.at(msg.to)
+	for i := range pending {
+		msg := &pending[i]
+		dst := m.peAt(msg.to)
 		m.noteTouch(msg.to, dst)
 		dst.clk.merge(msg.depth, msg.dist)
-		dst.set(msg.dstReg, msg.v)
+		dst.set(msg.dst, msg.v)
 		m.noteMem(msg.to, dst)
 	}
+	for i := range pending {
+		pending[i].v = nil // release payload references until the next round
+	}
+	m.pendingBuf = pending
 }
 
 // Exchange swaps the contents of register r between PEs a and b using two
@@ -458,6 +717,20 @@ func (m *Machine) Exchange(a, b Coord, r Reg) {
 	})
 }
 
+// MemoryLimitError reports a PE exceeding the configured per-PE register
+// limit. The machine panics with this value (an O(1)-memory contract
+// violation is an algorithmic bug, not a data error); facades that expose
+// the limit as configuration may recover it and return it as an error.
+type MemoryLimitError struct {
+	PE        Coord
+	Registers int
+	Limit     int
+}
+
+func (e MemoryLimitError) Error() string {
+	return fmt.Sprintf("machine: PE %v exceeded memory limit: %d registers > limit %d", e.PE, e.Registers, e.Limit)
+}
+
 func (m *Machine) noteMem(c Coord, p *pe) {
 	n := len(p.regs)
 	if n > p.peakReg {
@@ -467,15 +740,15 @@ func (m *Machine) noteMem(c Coord, p *pe) {
 		m.peakMem = n
 	}
 	if m.memLimit > 0 && n > m.memLimit {
-		panic(fmt.Sprintf("machine: PE %v exceeded memory limit: %d registers > limit %d", c, n, m.memLimit))
+		panic(MemoryLimitError{PE: c, Registers: n, Limit: m.memLimit})
 	}
 }
 
 // Clock returns the causality clock (depth, distance) of PE c, i.e. the
 // longest dependent-message chain ending there.
 func (m *Machine) Clock(c Coord) (depth, dist int64) {
-	p, ok := m.pes[c]
-	if !ok {
+	p := m.peLookup(c)
+	if p == nil {
 		return 0, 0
 	}
 	return p.clk.depth, p.clk.dist
@@ -483,18 +756,18 @@ func (m *Machine) Clock(c Coord) (depth, dist int64) {
 
 // TouchedPEs returns the number of PEs that have ever held a value or
 // participated in a message.
-func (m *Machine) TouchedPEs() int { return len(m.pes) }
+func (m *Machine) TouchedPEs() int { return m.touched }
 
 // Registers returns a sorted list of the live register names of PE c,
 // mainly for debugging and tests.
 func (m *Machine) Registers(c Coord) []Reg {
-	p, ok := m.pes[c]
-	if !ok {
+	p := m.peLookup(c)
+	if p == nil {
 		return nil
 	}
 	names := make([]Reg, 0, len(p.regs))
 	for i := range p.regs {
-		names = append(names, p.regs[i].name)
+		names = append(names, m.regNames[p.regs[i].id])
 	}
 	sort.Strings(names)
 	return names

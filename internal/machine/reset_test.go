@@ -1,0 +1,217 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// runSample exercises every accounting path: plain sends, a Par round, an
+// Independent fork and a congestion-free relay, and returns the metrics.
+func runSample(m *Machine) Metrics {
+	m.Set(Coord{0, 0}, "v", 1.0)
+	m.Set(Coord{0, 1}, "w", 2.0)
+	m.Send(Coord{0, 0}, "v", Coord{3, 4}, "v")
+	m.Par(func(send func(from, to Coord, dstReg Reg, v Value)) {
+		send(Coord{3, 4}, Coord{0, 0}, "back", 9)
+		send(Coord{0, 1}, Coord{5, 5}, "w", 3.0)
+	})
+	m.Independent(
+		func() { m.Send(Coord{5, 5}, "w", Coord{5, 6}, "w") },
+		func() { m.Send(Coord{0, 0}, "back", Coord{1, 0}, "b") },
+	)
+	return m.Metrics()
+}
+
+func TestResetMatchesFreshMachine(t *testing.T) {
+	fresh := New()
+	want := runSample(fresh)
+
+	m := New()
+	runSample(m)
+	m.Reset()
+
+	if got := m.Metrics(); got != (Metrics{}) {
+		t.Fatalf("metrics after Reset = %v, want zero", got)
+	}
+	if got := m.TouchedPEs(); got != 0 {
+		t.Fatalf("TouchedPEs after Reset = %d, want 0", got)
+	}
+	if m.Has(Coord{0, 0}, "v") || m.Has(Coord{5, 5}, "w") {
+		t.Fatal("registers survived Reset")
+	}
+	if regs := m.Registers(Coord{3, 4}); regs != nil {
+		t.Fatalf("Registers after Reset = %v, want nil", regs)
+	}
+	if d, dist := m.Clock(Coord{3, 4}); d != 0 || dist != 0 {
+		t.Fatalf("clock after Reset = (%d,%d), want (0,0)", d, dist)
+	}
+
+	// A rerun on the reused grid must account identically to a fresh one.
+	if got := runSample(m); got != want {
+		t.Errorf("rerun after Reset = %v, want %v", got, want)
+	}
+	if got, want := m.TouchedPEs(), fresh.TouchedPEs(); got != want {
+		t.Errorf("TouchedPEs after rerun = %d, want %d", got, want)
+	}
+}
+
+func TestResetRepeatedSweep(t *testing.T) {
+	m := New()
+	var first Metrics
+	for round := 0; round < 5; round++ {
+		m.Reset()
+		got := runSample(m)
+		if round == 0 {
+			first = got
+			continue
+		}
+		if got != first {
+			t.Fatalf("round %d metrics %v, want %v", round, got, first)
+		}
+	}
+}
+
+func TestResetKeepsMemoryLimit(t *testing.T) {
+	m := NewWithMemoryLimit(2)
+	m.Set(Coord{0, 0}, "a", 1)
+	m.Reset()
+	m.Set(Coord{0, 0}, "a", 1)
+	m.Set(Coord{0, 0}, "b", 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("memory limit not enforced after Reset")
+		}
+	}()
+	m.Set(Coord{0, 0}, "c", 3)
+}
+
+func TestResetKeepsCongestionTracking(t *testing.T) {
+	m := New()
+	m.EnableCongestionTracking()
+	m.Set(Coord{0, 0}, "v", 1)
+	m.Send(Coord{0, 0}, "v", Coord{0, 3}, "v")
+	if m.MaxCongestion() != 1 {
+		t.Fatalf("pre-reset congestion = %d", m.MaxCongestion())
+	}
+	m.Reset()
+	if m.MaxCongestion() != 0 || m.TotalLinkTraversals() != 0 {
+		t.Fatal("congestion loads survived Reset")
+	}
+	m.Set(Coord{0, 0}, "v", 1)
+	m.Send(Coord{0, 0}, "v", Coord{0, 3}, "v")
+	if got := m.MaxCongestion(); got != 1 {
+		t.Errorf("post-reset congestion = %d, want 1 (tracking should stay on)", got)
+	}
+	if got, want := m.TotalLinkTraversals(), m.Metrics().Energy; got != want {
+		t.Errorf("traversals %d != energy %d after Reset", got, want)
+	}
+}
+
+func TestNegativeAndTileBoundaryCoords(t *testing.T) {
+	// Exercise PEs straddling tile boundaries (tiles are 16x16) and deep in
+	// the negative quadrants.
+	coords := []Coord{
+		{0, 0}, {15, 15}, {16, 16}, {15, 16}, {16, 15},
+		{-1, -1}, {-16, -16}, {-17, 31}, {100, -100},
+	}
+	m := New()
+	for i, c := range coords {
+		m.Set(c, "v", i)
+	}
+	for i, c := range coords {
+		if got := m.Get(c, "v"); got != i {
+			t.Fatalf("Get(%v) = %v, want %d", c, got, i)
+		}
+	}
+	if got := m.TouchedPEs(); got != len(coords) {
+		t.Fatalf("TouchedPEs = %d, want %d", got, len(coords))
+	}
+	// Neighbor PEs in the same tile must not alias.
+	m.Set(Coord{-1, -1}, "v", "a")
+	if got := m.Get(Coord{-16, -16}, "v"); got != 6 {
+		t.Errorf("tile aliasing: Get(p(-16,-16)) = %v", got)
+	}
+	// A send across a tile boundary accounts the exact Manhattan distance.
+	m.Send(Coord{15, 15}, "v", Coord{16, 16}, "x")
+	if got := m.Metrics().Energy; got != 2 {
+		t.Errorf("cross-tile send energy = %d, want 2", got)
+	}
+}
+
+func TestUntouchedNeighborInAllocatedTile(t *testing.T) {
+	// Touching one PE allocates its whole 16x16 tile; its neighbors must
+	// still read as untouched.
+	m := New()
+	m.Set(Coord{3, 3}, "v", 1)
+	if m.Has(Coord{3, 4}, "v") {
+		t.Error("neighbor in same tile reads as touched")
+	}
+	if m.TouchedPEs() != 1 {
+		t.Errorf("TouchedPEs = %d, want 1", m.TouchedPEs())
+	}
+	if m.Registers(Coord{3, 4}) != nil {
+		t.Error("neighbor has registers")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Get on untouched neighbor did not panic")
+		}
+	}()
+	m.Get(Coord{3, 4}, "v")
+}
+
+func TestManyRegisterNamesInterned(t *testing.T) {
+	// More distinct names than the MRU cache holds: interning must stay
+	// stable and Registers must report original names.
+	m := New()
+	c := Coord{0, 0}
+	const k = 40
+	for i := 0; i < k; i++ {
+		m.Set(c, fmt.Sprintf("r%02d", i), i)
+	}
+	for i := 0; i < k; i++ {
+		if got := m.Get(c, fmt.Sprintf("r%02d", i)); got != i {
+			t.Fatalf("reg r%02d = %v, want %d", i, got, i)
+		}
+	}
+	if got := m.Metrics().PeakMemory; got != k {
+		t.Errorf("peak memory = %d, want %d", got, k)
+	}
+	names := m.Registers(c)
+	if len(names) != k || names[0] != "r00" || names[k-1] != "r39" {
+		t.Errorf("Registers = %v", names)
+	}
+}
+
+func TestParBufferReuseAcrossRounds(t *testing.T) {
+	// Consecutive Par rounds share buffers; chains must still span rounds
+	// (round 2 senders chain onto round 1 deliveries).
+	m := New()
+	m.Set(Coord{0, 0}, "v", 1)
+	for round := 0; round < 4; round++ {
+		r := round
+		m.Par(func(send func(from, to Coord, dstReg Reg, v Value)) {
+			send(Coord{0, r}, Coord{0, r + 1}, "v", r)
+		})
+	}
+	if got := m.Metrics().Depth; got != 4 {
+		t.Errorf("chained rounds depth = %d, want 4", got)
+	}
+	if got := m.Metrics().Energy; got != 4 {
+		t.Errorf("energy = %d, want 4", got)
+	}
+}
+
+func TestIndependentAfterReset(t *testing.T) {
+	m := New()
+	runSample(m)
+	m.Reset()
+	m.Set(Coord{0, 0}, "v", 1)
+	m.Independent(
+		func() { m.Send(Coord{0, 0}, "v", Coord{0, 5}, "a") },
+		func() { m.Send(Coord{0, 0}, "v", Coord{5, 0}, "b") },
+	)
+	if got := m.Metrics().Depth; got != 1 {
+		t.Errorf("depth = %d, want 1 (branches independent)", got)
+	}
+}

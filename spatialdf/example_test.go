@@ -21,18 +21,18 @@ func ExampleSort() {
 }
 
 func ExampleSelect() {
-	v, _ := spatialdf.Select([]float64{9, 4, 7, 1, 8}, 2, 1)
-	fmt.Println(v)
-	// Output: 4
+	v, _, err := spatialdf.Select([]float64{9, 4, 7, 1, 8}, 2)
+	fmt.Println(v, err)
+	// Output: 4 <nil>
 }
 
 func ExampleSegmentedScan() {
-	out, _ := spatialdf.SegmentedScan(
+	out, _, err := spatialdf.SegmentedScan(
 		[]float64{1, 2, 3, 4},
 		[]bool{true, false, true, false},
 	)
-	fmt.Println(out)
-	// Output: [1 3 3 7]
+	fmt.Println(out, err)
+	// Output: [1 3 3 7] <nil>
 }
 
 func ExampleSpMV() {

@@ -62,7 +62,10 @@ func FuzzSelectMatchesSorted(f *testing.F) {
 			return
 		}
 		k := int(kRaw)%len(vals) + 1
-		got, _ := Select(vals, k, 42)
+		got, _, err := Select(vals, k, WithSeed(42))
+		if err != nil {
+			t.Fatal(err)
+		}
 		want := append([]float64(nil), vals...)
 		sort.Float64s(want)
 		if got != want[k-1] {

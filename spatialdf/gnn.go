@@ -2,7 +2,6 @@ package spatialdf
 
 import (
 	"repro/internal/gnn"
-	"repro/internal/machine"
 )
 
 // GraphEdge is one directed, weighted edge of a GNN input graph.
@@ -32,13 +31,14 @@ type GNN struct {
 // features[c][v]) and returns the pooled TopK x channels block, the
 // selected node ids (highest score first), and the Spatial Computer Model
 // cost of the whole pass.
-func (g GNN) Forward(graph GNNGraph, features [][]float64) ([][]float64, []int, Metrics, error) {
+func (g GNN) Forward(graph GNNGraph, features [][]float64, opts ...Option) (pooled [][]float64, picked []int, met Metrics, err error) {
 	ig := gnn.Graph{Nodes: graph.Nodes, Edges: make([]gnn.Edge, len(graph.Edges))}
 	for i, e := range graph.Edges {
 		ig.Edges[i] = gnn.Edge{U: e.U, V: e.V, W: e.W}
 	}
-	m := machine.New()
-	pooled, picked, err := gnn.Model{Layers: g.Layers, TopK: g.TopK}.Forward(m, ig, gnn.Features(features))
+	defer captureMemLimit(&err)
+	m := buildConfig(opts).newMachine()
+	pooled, picked, err = gnn.Model{Layers: g.Layers, TopK: g.TopK}.Forward(m, ig, gnn.Features(features))
 	if err != nil {
 		return nil, nil, Metrics{}, err
 	}

@@ -1,0 +1,97 @@
+package spatialdf
+
+import (
+	"repro/internal/machine"
+)
+
+// Coord identifies one processing element of the simulated grid in tracer
+// callbacks. The grid is unbounded; negative coordinates are valid.
+type Coord struct {
+	Row, Col int
+}
+
+// Tracer receives a callback for every message the simulated machine sends,
+// for visualization and debugging. It must not call back into the facade.
+type Tracer func(from, to Coord, v any)
+
+// Option configures the simulated machine an operation runs on. Every
+// facade operation accepts options; options meaningless to an operation
+// (e.g. WithSeed on a deterministic scan) are ignored.
+type Option func(*config)
+
+type config struct {
+	memLimit   int
+	congestion bool
+	tracer     Tracer
+	seed       int64
+}
+
+func buildConfig(opts []Option) config {
+	cfg := config{seed: 1}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+// WithMemoryLimit bounds the number of registers any single PE may hold,
+// certifying the model's O(1)-memory contract. Exceeding the limit is an
+// algorithmic contract violation: operations that return an error report it
+// as a machine.MemoryLimitError; operations without an error return panic.
+func WithMemoryLimit(limit int) Option {
+	return func(c *config) { c.memLimit = limit }
+}
+
+// WithCongestion enables per-link traffic tracking under dimension-ordered
+// (X-then-Y) mesh routing; the resulting maximum per-link load is reported
+// in Metrics.MaxLinkLoad. Tracking costs O(distance) bookkeeping per
+// message, so it is off by default.
+func WithCongestion() Option {
+	return func(c *config) { c.congestion = true }
+}
+
+// WithTracer installs a callback invoked for every message sent.
+func WithTracer(t Tracer) Option {
+	return func(c *config) { c.tracer = t }
+}
+
+// WithSeed sets the seed of the pseudo-random choices of randomized
+// operations (Select, Median). Results are deterministic for a fixed seed;
+// the default seed is 1.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// newMachine constructs the simulated machine an operation runs on.
+func (c config) newMachine() *machine.Machine {
+	var m *machine.Machine
+	if c.memLimit > 0 {
+		m = machine.NewWithMemoryLimit(c.memLimit)
+	} else {
+		m = machine.New()
+	}
+	if c.congestion {
+		m.EnableCongestionTracking()
+	}
+	if c.tracer != nil {
+		t := c.tracer
+		m.SetTracer(func(from, to machine.Coord, v machine.Value) {
+			t(Coord{from.Row, from.Col}, Coord{to.Row, to.Col}, v)
+		})
+	}
+	return m
+}
+
+// captureMemLimit converts a memory-limit contract violation into the
+// returned error of the enclosing operation. Any other panic propagates.
+func captureMemLimit(err *error) {
+	if r := recover(); r != nil {
+		if mle, ok := r.(machine.MemoryLimitError); ok {
+			*err = mle
+			return
+		}
+		panic(r)
+	}
+}

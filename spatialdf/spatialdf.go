@@ -11,6 +11,13 @@
 // scan, mesh shearsort, PRAM-simulated SpMV) are included so the paper's
 // comparisons can be reproduced through the same interface.
 //
+// Every operation accepts functional options configuring the simulated
+// machine: WithMemoryLimit (certify the O(1)-memory contract),
+// WithCongestion (per-link load tracking, reported as Metrics.MaxLinkLoad),
+// WithTracer (per-message callbacks) and WithSeed (randomized operations).
+// Operations validate their inputs and return errors — they do not panic on
+// user data.
+//
 // Inputs of arbitrary length are padded internally to the power-of-four
 // sizes the model assumes; padding never changes results.
 package spatialdf
@@ -46,63 +53,80 @@ type Metrics struct {
 	// PeakMemory is the largest number of words held by any single
 	// processing element (the model requires O(1)).
 	PeakMemory int
+	// MaxLinkLoad is the highest traversal count over any single directed
+	// mesh link under dimension-ordered routing — the congestion
+	// complement of Energy (the total load). Populated only when the
+	// operation ran WithCongestion; zero otherwise.
+	MaxLinkLoad int64
 }
 
 func fromMachine(m *machine.Machine) Metrics {
 	mm := m.Metrics()
 	return Metrics{
-		Energy:     mm.Energy,
-		Depth:      mm.Depth,
-		Distance:   mm.Distance,
-		Messages:   mm.Messages,
-		PeakMemory: mm.PeakMemory,
+		Energy:      mm.Energy,
+		Depth:       mm.Depth,
+		Distance:    mm.Distance,
+		Messages:    mm.Messages,
+		PeakMemory:  mm.PeakMemory,
+		MaxLinkLoad: m.MaxCongestion(),
 	}
 }
 
 func (m Metrics) String() string {
-	return fmt.Sprintf("energy=%d depth=%d distance=%d messages=%d peakMem=%d",
+	s := fmt.Sprintf("energy=%d depth=%d distance=%d messages=%d peakMem=%d",
 		m.Energy, m.Depth, m.Distance, m.Messages, m.PeakMemory)
+	if m.MaxLinkLoad > 0 {
+		s += fmt.Sprintf(" maxLink=%d", m.MaxLinkLoad)
+	}
+	return s
 }
 
 // Sequential returns the cost of running this operation followed by
 // another: energies and message counts add, chains concatenate (depth and
 // distance add), memory peaks take the maximum. Iterative applications —
 // e.g. the SpMV inside a conjugate-gradient loop — compose with it.
+// MaxLinkLoad also takes the maximum: the phases may peak on different
+// links, so the sum would overstate the congestion of the composition.
 func (m Metrics) Sequential(next Metrics) Metrics {
 	peak := m.PeakMemory
 	if next.PeakMemory > peak {
 		peak = next.PeakMemory
 	}
+	link := m.MaxLinkLoad
+	if next.MaxLinkLoad > link {
+		link = next.MaxLinkLoad
+	}
 	return Metrics{
-		Energy:     m.Energy + next.Energy,
-		Depth:      m.Depth + next.Depth,
-		Distance:   m.Distance + next.Distance,
-		Messages:   m.Messages + next.Messages,
-		PeakMemory: peak,
+		Energy:      m.Energy + next.Energy,
+		Depth:       m.Depth + next.Depth,
+		Distance:    m.Distance + next.Distance,
+		Messages:    m.Messages + next.Messages,
+		PeakMemory:  peak,
+		MaxLinkLoad: link,
 	}
 }
 
-// gridFor returns a machine and square power-of-two region large enough for
-// n elements.
-func gridFor(n int) (*machine.Machine, grid.Rect) {
+// gridFor returns a machine (configured by cfg) and a square power-of-two
+// region large enough for n elements.
+func gridFor(n int, cfg config) (*machine.Machine, grid.Rect) {
 	side := zorder.NextPow2(int(math.Ceil(math.Sqrt(float64(max(n, 1))))))
-	return machine.New(), grid.Square(machine.Coord{}, side)
+	return cfg.newMachine(), grid.Square(machine.Coord{}, side)
 }
 
 // Scan returns the inclusive prefix sums of vals using the energy-optimal
 // Z-order scan (Lemma IV.3: Theta(n) energy, O(log n) depth, Theta(sqrt n)
 // distance).
-func Scan(vals []float64) ([]float64, Metrics) {
-	return ScanWith(func(a, b float64) float64 { return a + b }, 0, vals)
+func Scan(vals []float64, opts ...Option) ([]float64, Metrics) {
+	return ScanWith(func(a, b float64) float64 { return a + b }, 0, vals, opts...)
 }
 
 // ScanWith is Scan for an arbitrary associative operator with the given
 // identity element.
-func ScanWith(op func(a, b float64) float64, identity float64, vals []float64) ([]float64, Metrics) {
+func ScanWith(op func(a, b float64) float64, identity float64, vals []float64, opts ...Option) ([]float64, Metrics) {
 	if len(vals) == 0 {
 		return nil, Metrics{}
 	}
-	m, r := gridFor(len(vals))
+	m, r := gridFor(len(vals), buildConfig(opts))
 	t := grid.ZOrder(r)
 	for i := 0; i < r.Size(); i++ {
 		if i < len(vals) {
@@ -123,14 +147,16 @@ func ScanWith(op func(a, b float64) float64, identity float64, vals []float64) (
 
 // SegmentedScan computes inclusive per-segment prefix sums, where heads[i]
 // marks the first element of each segment (element 0 always starts one).
-func SegmentedScan(vals []float64, heads []bool) ([]float64, Metrics) {
+// It returns an error if vals and heads differ in length.
+func SegmentedScan(vals []float64, heads []bool, opts ...Option) (out []float64, met Metrics, err error) {
 	if len(vals) != len(heads) {
-		panic("spatialdf: SegmentedScan length mismatch")
+		return nil, Metrics{}, fmt.Errorf("spatialdf: SegmentedScan length mismatch: %d values, %d heads", len(vals), len(heads))
 	}
 	if len(vals) == 0 {
-		return nil, Metrics{}
+		return nil, Metrics{}, nil
 	}
-	m, r := gridFor(len(vals))
+	defer captureMemLimit(&err)
+	m, r := gridFor(len(vals), buildConfig(opts))
 	t := grid.ZOrder(r)
 	for i := 0; i < r.Size(); i++ {
 		if i < len(vals) {
@@ -142,20 +168,20 @@ func SegmentedScan(vals []float64, heads []bool) ([]float64, Metrics) {
 		}
 	}
 	collectives.SegmentedScan(m, r, "v", "h", collectives.Add, 0.0)
-	out := make([]float64, len(vals))
+	out = make([]float64, len(vals))
 	for i := range out {
 		out[i] = m.Get(t.At(i), "v").(float64)
 	}
-	return out, fromMachine(m)
+	return out, fromMachine(m), nil
 }
 
 // ScanTree computes the same prefix sums with the binary-tree scan over a
 // row-major layout — the Theta(n log n)-energy baseline of Section IV-C.
-func ScanTree(vals []float64) ([]float64, Metrics) {
+func ScanTree(vals []float64, opts ...Option) ([]float64, Metrics) {
 	if len(vals) == 0 {
 		return nil, Metrics{}
 	}
-	m, r := gridFor(len(vals))
+	m, r := gridFor(len(vals), buildConfig(opts))
 	t := grid.RowMajor(r)
 	for i := 0; i < r.Size(); i++ {
 		v := 0.0
@@ -174,11 +200,11 @@ func ScanTree(vals []float64) ([]float64, Metrics) {
 
 // ScanSequential computes the prefix sums with a sequential relay chain in
 // Z-order: Theta(n) energy but Theta(n) depth (no parallelism).
-func ScanSequential(vals []float64) ([]float64, Metrics) {
+func ScanSequential(vals []float64, opts ...Option) ([]float64, Metrics) {
 	if len(vals) == 0 {
 		return nil, Metrics{}
 	}
-	m, r := gridFor(len(vals))
+	m, r := gridFor(len(vals), buildConfig(opts))
 	t := grid.ZOrder(r)
 	for i := 0; i < r.Size(); i++ {
 		v := 0.0
@@ -197,11 +223,11 @@ func ScanSequential(vals []float64) ([]float64, Metrics) {
 
 // Reduce returns the sum of vals with the multicast-free reduce of
 // Corollary IV.2 (O(n) energy, O(log n) depth on a square subgrid).
-func Reduce(vals []float64) (float64, Metrics) {
+func Reduce(vals []float64, opts ...Option) (float64, Metrics) {
 	if len(vals) == 0 {
 		return 0, Metrics{}
 	}
-	m, r := gridFor(len(vals))
+	m, r := gridFor(len(vals), buildConfig(opts))
 	t := grid.RowMajor(r)
 	for i := 0; i < r.Size(); i++ {
 		v := 0.0
@@ -216,8 +242,8 @@ func Reduce(vals []float64) (float64, Metrics) {
 
 // BroadcastCost reports the model cost of broadcasting one value to n
 // processors without multicasting (Lemma IV.1).
-func BroadcastCost(n int) Metrics {
-	m, r := gridFor(n)
+func BroadcastCost(n int, opts ...Option) Metrics {
+	m, r := gridFor(n, buildConfig(opts))
 	m.Set(r.Origin, "v", 1.0)
 	collectives.Broadcast(m, r, "v")
 	return fromMachine(m)
@@ -226,33 +252,33 @@ func BroadcastCost(n int) Metrics {
 // Sort returns vals in ascending order using the energy-optimal 2-D
 // mergesort (Theorem V.8: Theta(n^{3/2}) energy — matching the permutation
 // lower bound — O(log^3 n) depth, Theta(sqrt n) distance).
-func Sort(vals []float64) ([]float64, Metrics) {
-	return sortPadded(vals, func(m *machine.Machine, r grid.Rect) {
+func Sort(vals []float64, opts ...Option) ([]float64, Metrics) {
+	return sortPadded(vals, opts, func(m *machine.Machine, r grid.Rect) {
 		core.MergeSort(m, r, "v", order.Float64)
 	})
 }
 
 // SortBitonic sorts with the bitonic network on a row-major layout — the
 // Theta(n^{3/2} log n)-energy baseline of Lemma V.4.
-func SortBitonic(vals []float64) ([]float64, Metrics) {
-	return sortPadded(vals, func(m *machine.Machine, r grid.Rect) {
+func SortBitonic(vals []float64, opts ...Option) ([]float64, Metrics) {
+	return sortPadded(vals, opts, func(m *machine.Machine, r grid.Rect) {
 		sortnet.Sort(m, grid.RowMajor(r), "v", r.Size(), order.Float64)
 	})
 }
 
 // SortMesh sorts with shearsort, a classic mesh-connected-computer
 // algorithm with polynomial Theta(sqrt n log n) depth (Section II-B).
-func SortMesh(vals []float64) ([]float64, Metrics) {
-	return sortPadded(vals, func(m *machine.Machine, r grid.Rect) {
+func SortMesh(vals []float64, opts ...Option) ([]float64, Metrics) {
+	return sortPadded(vals, opts, func(m *machine.Machine, r grid.Rect) {
 		sortnet.Shearsort(m, r, "v", order.Float64)
 	})
 }
 
-func sortPadded(vals []float64, run func(*machine.Machine, grid.Rect)) ([]float64, Metrics) {
+func sortPadded(vals []float64, opts []Option, run func(*machine.Machine, grid.Rect)) ([]float64, Metrics) {
 	if len(vals) == 0 {
 		return nil, Metrics{}
 	}
-	m, r := gridFor(len(vals))
+	m, r := gridFor(len(vals), buildConfig(opts))
 	t := grid.RowMajor(r)
 	for i := 0; i < r.Size(); i++ {
 		v := math.Inf(1)
@@ -274,7 +300,7 @@ func sortPadded(vals []float64, run func(*machine.Machine, grid.Rect)) ([]float6
 // (ties broken by original index, i.e. a stable argsort). Use it when the
 // sort key travels with a payload — e.g. a GNN sort-pooling layer ordering
 // node embeddings by a score channel.
-func SortIndices(vals []float64) ([]int, Metrics) {
+func SortIndices(vals []float64, opts ...Option) ([]int, Metrics) {
 	if len(vals) == 0 {
 		return nil, Metrics{}
 	}
@@ -282,7 +308,7 @@ func SortIndices(vals []float64) ([]int, Metrics) {
 		v float64
 		i int
 	}
-	m, r := gridFor(len(vals))
+	m, r := gridFor(len(vals), buildConfig(opts))
 	t := grid.RowMajor(r)
 	for i := 0; i < r.Size(); i++ {
 		e := kv{v: math.Inf(1), i: i}
@@ -307,13 +333,16 @@ func SortIndices(vals []float64) ([]int, Metrics) {
 }
 
 // Select returns the k-th smallest element of vals (k is 1-indexed) using
-// the randomized linear-energy selection of Theorem VI.3, seeded for
-// reproducibility.
-func Select(vals []float64, k int, seed int64) (float64, Metrics) {
+// the randomized linear-energy selection of Theorem VI.3. The pseudo-random
+// choices are seeded by WithSeed (default 1) for reproducibility; the
+// result is exact for any seed. It returns an error if k is out of range.
+func Select(vals []float64, k int, opts ...Option) (got float64, met Metrics, err error) {
 	if k < 1 || k > len(vals) {
-		panic(fmt.Sprintf("spatialdf: Select rank %d out of range [1,%d]", k, len(vals)))
+		return 0, Metrics{}, fmt.Errorf("spatialdf: Select rank %d out of range [1,%d]", k, len(vals))
 	}
-	m, r := gridFor(len(vals))
+	defer captureMemLimit(&err)
+	cfg := buildConfig(opts)
+	m, r := gridFor(len(vals), cfg)
 	t := grid.RowMajor(r)
 	for i := 0; i < r.Size(); i++ {
 		v := math.Inf(1)
@@ -322,36 +351,49 @@ func Select(vals []float64, k int, seed int64) (float64, Metrics) {
 		}
 		m.Set(t.At(i), "v", v)
 	}
-	got := core.Select(m, r, "v", k, order.Float64, rand.New(rand.NewSource(seed)))
-	return got.(float64), fromMachine(m)
+	v := core.Select(m, r, "v", k, order.Float64, rand.New(rand.NewSource(cfg.seed)))
+	return v.(float64), fromMachine(m), nil
 }
 
-// Median returns the lower median of vals (rank ceil(n/2)).
-func Median(vals []float64, seed int64) (float64, Metrics) {
-	return Select(vals, (len(vals)+1)/2, seed)
+// Median returns the lower median of vals (rank ceil(n/2)). It returns an
+// error if vals is empty.
+func Median(vals []float64, opts ...Option) (float64, Metrics, error) {
+	return Select(vals, (len(vals)+1)/2, opts...)
 }
 
 // Permute routes vals[i] to position perm[i] on a square grid, each element
 // travelling directly. With the reversal permutation this measures the
 // Omega(n^{3/2}) lower bound of Lemma V.1 that makes the mergesort optimal.
-func Permute(vals []float64, perm []int) ([]float64, Metrics) {
+// It returns an error if perm is not a permutation of the indices of vals.
+func Permute(vals []float64, perm []int, opts ...Option) (out []float64, met Metrics, err error) {
 	if len(vals) != len(perm) {
-		panic("spatialdf: Permute length mismatch")
+		return nil, Metrics{}, fmt.Errorf("spatialdf: Permute length mismatch: %d values, %d positions", len(vals), len(perm))
+	}
+	seen := make([]bool, len(perm))
+	for i, p := range perm {
+		if p < 0 || p >= len(perm) {
+			return nil, Metrics{}, fmt.Errorf("spatialdf: Permute position perm[%d] = %d out of range [0,%d)", i, p, len(perm))
+		}
+		if seen[p] {
+			return nil, Metrics{}, fmt.Errorf("spatialdf: Permute position %d targeted twice", p)
+		}
+		seen[p] = true
 	}
 	if len(vals) == 0 {
-		return nil, Metrics{}
+		return nil, Metrics{}, nil
 	}
-	m, r := gridFor(len(vals))
+	defer captureMemLimit(&err)
+	m, r := gridFor(len(vals), buildConfig(opts))
 	t := grid.Slice(grid.RowMajor(r), 0, len(vals))
 	for i, v := range vals {
 		m.Set(t.At(i), "v", v)
 	}
 	core.Permute(m, t, "v", t, "v", perm)
-	out := make([]float64, len(vals))
+	out = make([]float64, len(vals))
 	for i := range out {
 		out[i] = m.Get(t.At(i), "v").(float64)
 	}
-	return out, fromMachine(m)
+	return out, fromMachine(m), nil
 }
 
 // MatrixEntry is one non-zero element of a sparse matrix.
@@ -385,9 +427,10 @@ func (a Matrix) MultiplyDense(x []float64) []float64 {
 
 // SpMV computes y = A*x with the direct sort+scan algorithm of Theorem
 // VIII.2 (Theta(m^{3/2}) energy, O(log^3 n) depth, Theta(sqrt m) distance).
-func SpMV(a Matrix, x []float64) ([]float64, Metrics, error) {
-	m := machine.New()
-	y, err := spmv.Multiply(m, a.internal(), x)
+func SpMV(a Matrix, x []float64, opts ...Option) (y []float64, met Metrics, err error) {
+	defer captureMemLimit(&err)
+	m := buildConfig(opts).newMachine()
+	y, err = spmv.Multiply(m, a.internal(), x)
 	if err != nil {
 		return nil, Metrics{}, err
 	}
@@ -397,9 +440,10 @@ func SpMV(a Matrix, x []float64) ([]float64, Metrics, error) {
 // SpMVPRAM computes y = A*x by simulating the CRCW PRAM algorithm of
 // Section VIII under the Lemma VII.2 simulation — the paper's baseline,
 // a Theta(log n) factor worse in depth and distance.
-func SpMVPRAM(a Matrix, x []float64) ([]float64, Metrics, error) {
-	m := machine.New()
-	y, err := spmv.MultiplyPRAM(m, a.internal(), x)
+func SpMVPRAM(a Matrix, x []float64, opts ...Option) (y []float64, met Metrics, err error) {
+	defer captureMemLimit(&err)
+	m := buildConfig(opts).newMachine()
+	y, err = spmv.MultiplyPRAM(m, a.internal(), x)
 	if err != nil {
 		return nil, Metrics{}, err
 	}

@@ -56,7 +56,10 @@ func TestScanWithMax(t *testing.T) {
 func TestSegmentedScan(t *testing.T) {
 	vals := []float64{1, 2, 3, 4, 5, 6}
 	heads := []bool{true, false, true, false, false, true}
-	got, _ := SegmentedScan(vals, heads)
+	got, _, err := SegmentedScan(vals, heads)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []float64{1, 3, 3, 7, 12, 6}
 	for i := range want {
 		if got[i] != want[i] {
@@ -122,7 +125,7 @@ func TestSortVariantsAllSort(t *testing.T) {
 	}
 	want := append([]float64(nil), vals...)
 	sort.Float64s(want)
-	for name, f := range map[string]func([]float64) ([]float64, Metrics){
+	for name, f := range map[string]func([]float64, ...Option) ([]float64, Metrics){
 		"mergesort": Sort, "bitonic": SortBitonic, "mesh": SortMesh,
 	} {
 		got, _ := f(vals)
@@ -162,7 +165,7 @@ func TestSortEnergyAndDepthShapes(t *testing.T) {
 	// toward its constant (Theorem V.8), so their ratio converges; the
 	// mesh sort has polynomial depth while mergesort stays polylog.
 	rng := rand.New(rand.NewSource(5))
-	norm := func(n int, f func([]float64) ([]float64, Metrics)) float64 {
+	norm := func(n int, f func([]float64, ...Option) ([]float64, Metrics)) float64 {
 		vals := make([]float64, n)
 		for i := range vals {
 			vals[i] = rng.Float64()
@@ -207,12 +210,18 @@ func TestSelectAndMedian(t *testing.T) {
 	sorted := append([]float64(nil), vals...)
 	sort.Float64s(sorted)
 	for _, k := range []int{1, 50, 100, 200} {
-		got, _ := Select(vals, k, 7)
+		got, _, err := Select(vals, k, WithSeed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
 		if got != sorted[k-1] {
 			t.Fatalf("Select(%d) = %v, want %v", k, got, sorted[k-1])
 		}
 	}
-	med, _ := Median(vals, 7)
+	med, _, err := Median(vals, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if med != sorted[99] {
 		t.Errorf("Median = %v, want %v", med, sorted[99])
 	}
@@ -224,7 +233,10 @@ func TestSelectCheaperThanSort(t *testing.T) {
 	for i := range vals {
 		vals[i] = rng.Float64()
 	}
-	_, msel := Select(vals, 512, 3)
+	_, msel, err := Select(vals, 512, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
 	_, msort := Sort(vals)
 	if msel.Energy >= msort.Energy {
 		t.Errorf("selection energy %d should beat sorting %d", msel.Energy, msort.Energy)
@@ -239,7 +251,10 @@ func TestPermuteReversal(t *testing.T) {
 		vals[i] = float64(i)
 		perm[i] = n - 1 - i
 	}
-	got, metrics := Permute(vals, perm)
+	got, metrics, err := Permute(vals, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range got {
 		if got[i] != float64(n-1-i) {
 			t.Fatalf("reversed[%d] = %v", i, got[i])
@@ -299,21 +314,26 @@ func TestSpMVPRAMAgainstDense(t *testing.T) {
 }
 
 func TestMetricsSequential(t *testing.T) {
-	a := Metrics{Energy: 10, Depth: 3, Distance: 5, Messages: 2, PeakMemory: 4}
-	b := Metrics{Energy: 1, Depth: 2, Distance: 1, Messages: 1, PeakMemory: 7}
+	a := Metrics{Energy: 10, Depth: 3, Distance: 5, Messages: 2, PeakMemory: 4, MaxLinkLoad: 9}
+	b := Metrics{Energy: 1, Depth: 2, Distance: 1, Messages: 1, PeakMemory: 7, MaxLinkLoad: 2}
 	c := a.Sequential(b)
 	if c.Energy != 11 || c.Depth != 5 || c.Distance != 6 || c.Messages != 3 || c.PeakMemory != 7 {
 		t.Errorf("Sequential = %+v", c)
 	}
+	if c.MaxLinkLoad != 9 {
+		t.Errorf("Sequential MaxLinkLoad = %d, want max(9,2)", c.MaxLinkLoad)
+	}
 }
 
 func TestSelectRejectsBadRank(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("bad rank did not panic")
+	for _, k := range []int{0, -1, 3} {
+		if _, _, err := Select([]float64{1, 2}, k); err == nil {
+			t.Errorf("Select rank %d accepted", k)
 		}
-	}()
-	Select([]float64{1, 2}, 3, 0)
+	}
+	if _, _, err := Median(nil); err == nil {
+		t.Error("Median of empty slice accepted")
+	}
 }
 
 func TestSortIndices(t *testing.T) {

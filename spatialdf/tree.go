@@ -1,7 +1,6 @@
 package spatialdf
 
 import (
-	"repro/internal/machine"
 	"repro/internal/tree"
 )
 
@@ -16,9 +15,10 @@ type Tree struct {
 // tree-algorithms line of work ([38] in the paper), here reduced to one
 // energy-optimal Z-order scan over the tree's Euler tour: Θ(n) energy and
 // O(log n) depth for any tree shape.
-func (t Tree) RootfixSum(values []float64) ([]float64, Metrics, error) {
-	m := machine.New()
-	out, err := tree.RootfixSum(m, tree.Tree{Parent: t.Parent}, values)
+func (t Tree) RootfixSum(values []float64, opts ...Option) (out []float64, met Metrics, err error) {
+	defer captureMemLimit(&err)
+	m := buildConfig(opts).newMachine()
+	out, err = tree.RootfixSum(m, tree.Tree{Parent: t.Parent}, values)
 	if err != nil {
 		return nil, Metrics{}, err
 	}
@@ -27,9 +27,10 @@ func (t Tree) RootfixSum(values []float64) ([]float64, Metrics, error) {
 
 // LeaffixSum returns, for every node, the sum of values over its subtree
 // (inclusive), with the same costs as RootfixSum.
-func (t Tree) LeaffixSum(values []float64) ([]float64, Metrics, error) {
-	m := machine.New()
-	out, err := tree.LeaffixSum(m, tree.Tree{Parent: t.Parent}, values)
+func (t Tree) LeaffixSum(values []float64, opts ...Option) (out []float64, met Metrics, err error) {
+	defer captureMemLimit(&err)
+	m := buildConfig(opts).newMachine()
+	out, err = tree.LeaffixSum(m, tree.Tree{Parent: t.Parent}, values)
 	if err != nil {
 		return nil, Metrics{}, err
 	}
