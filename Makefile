@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check bench test
+.PHONY: check bench test bench-compare
 
 # check is the full gate: build, vet and the race-enabled test suite.
 check:
@@ -19,3 +19,13 @@ bench:
 	  $(GO) test -run '^$$' -bench 'BenchmarkTable1Sort' -benchtime 1x . ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_machine.json
 	@echo wrote BENCH_machine.json
+
+# bench-compare is the perf regression gate: rerun the machine-core
+# micro-benchmarks and fail if any ns/op regresses more than 20% against
+# the committed BENCH_machine.json. Noisy shared machines may need a wider
+# tolerance: make bench-compare TOL=0.35. Run it alongside `make check`
+# before committing machine/harness changes; rebaseline with `make bench`.
+TOL ?= 0.20
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkMachine' -benchmem ./internal/machine/ \
+	| $(GO) run ./cmd/benchjson -compare BENCH_machine.json -tol $(TOL) -match BenchmarkMachine

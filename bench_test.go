@@ -11,12 +11,14 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/collectives"
 	"repro/internal/core"
 	"repro/internal/gnn"
 	"repro/internal/grid"
+	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/order"
 	"repro/internal/pram"
@@ -468,4 +470,29 @@ func BenchmarkGNNForward(b *testing.B) {
 		}
 	}
 	report(b, m)
+}
+
+// BenchmarkSweepScan — the harness end to end: a 12-point Z-order scan
+// sweep (n=4096) through internal/harness on pooled machines, at one
+// worker and at GOMAXPROCS workers. The two must produce identical rows;
+// on a multi-core machine the second runs a multiple faster.
+func BenchmarkSweepScan(b *testing.B) {
+	point := func(i int, env *harness.Env) []harness.Row {
+		const n = 4096
+		vals := workload.Array(workload.Random, n, env.Rng)
+		mm := env.Measure(func(m *machine.Machine) {
+			r := grid.SquareFor(machine.Coord{}, n)
+			placeBench(m, grid.ZOrder(r), vals)
+			collectives.Scan(m, r, "v", collectives.Add, 0.0)
+		})
+		return harness.One(i, float64(mm.Energy))
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			h := harness.New(1, harness.WithWorkers(workers))
+			for i := 0; i < b.N; i++ {
+				h.Sweep("bench-scan", 12, point)
+			}
+		})
+	}
 }

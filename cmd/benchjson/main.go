@@ -8,9 +8,16 @@
 // top-level "seed_baseline" object is preserved, so regenerated results
 // keep the recorded pre-optimization numbers for comparison.
 //
+// With -compare FILE the parsed run is instead diffed against FILE's
+// "benchmarks" object: every benchmark present in both whose name matches
+// -match is checked, and the command exits 1 if any ns_per_op regresses by
+// more than -tol (fractional, default 0.20). This is the `make
+// bench-compare` regression gate.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./internal/machine/ | go run ./cmd/benchjson -o BENCH_machine.json
+//	go test -run '^$' -bench . -benchmem ./internal/machine/ | go run ./cmd/benchjson -compare BENCH_machine.json -tol 0.20
 package main
 
 import (
@@ -18,7 +25,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -51,8 +60,54 @@ func parse(r *bufio.Scanner) map[string]map[string]float64 {
 	return benches
 }
 
+// compareBenches reports current-vs-baseline ns_per_op for every benchmark
+// in both maps whose name has the given prefix, and returns the number of
+// regressions beyond tol (fractional slowdown). Benchmarks missing from
+// either side are reported but not counted as failures — sweeps grow new
+// benchmarks, and baselines list retired ones.
+func compareBenches(w io.Writer, cur, base map[string]map[string]float64, prefix string, tol float64) int {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "  new      %-44s %12.1f ns/op (no baseline)\n", name, cur[name]["ns_per_op"])
+			continue
+		}
+		curNs, baseNs := cur[name]["ns_per_op"], b["ns_per_op"]
+		if baseNs == 0 {
+			continue
+		}
+		delta := curNs/baseNs - 1
+		status := "ok"
+		if delta > tol {
+			status = "REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-8s %-44s %12.1f -> %10.1f ns/op (%+.1f%%)\n", status, name, baseNs, curNs, 100*delta)
+	}
+	for name := range base {
+		if strings.HasPrefix(name, prefix) {
+			if _, ok := cur[name]; !ok {
+				fmt.Fprintf(w, "  missing  %-44s (in baseline, not in this run)\n", name)
+			}
+		}
+	}
+	return regressions
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout); an existing file's seed_baseline is preserved")
+	compare := flag.String("compare", "", "baseline JSON file to diff against instead of emitting JSON")
+	tol := flag.Float64("tol", 0.20, "with -compare: allowed fractional ns/op slowdown before failing")
+	match := flag.String("match", "Benchmark", "with -compare: only check benchmarks with this name prefix")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -65,6 +120,27 @@ func main() {
 	if len(benches) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+
+	if *compare != "" {
+		data, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var doc struct {
+			Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil || len(doc.Benchmarks) == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s has no benchmarks object\n", *compare)
+			os.Exit(1)
+		}
+		fmt.Printf("comparing against %s (tolerance %+.0f%% ns/op):\n", *compare, 100**tol)
+		if n := compareBenches(os.Stdout, benches, doc.Benchmarks, *match, *tol); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%\n", n, 100**tol)
+			os.Exit(1)
+		}
+		return
 	}
 
 	doc := map[string]any{"benchmarks": benches}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/machine
+BenchmarkSendChain-8         	   12345	     97531.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMachineReset-8      	  500000	      2000 ns/op	      32 B/op	       1 allocs/op
+BenchmarkParRound/n=1024-8   	    8000	    150000 ns/op	  123456 energy/op
+PASS
+ok  	repro/internal/machine	12.3s
+`
+
+func TestParse(t *testing.T) {
+	benches := parse(bufio.NewScanner(strings.NewReader(sampleOutput)))
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(benches), benches)
+	}
+	chain := benches["BenchmarkSendChain"]
+	if chain == nil {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if chain["ns_per_op"] != 97531.0 || chain["iterations"] != 12345 || chain["allocs_per_op"] != 0 {
+		t.Errorf("SendChain = %v", chain)
+	}
+	par := benches["BenchmarkParRound/n=1024"]
+	if par == nil || par["energy_per_op"] != 123456 {
+		t.Errorf("custom metric not parsed: %v", par)
+	}
+}
+
+func bench(ns float64) map[string]float64 { return map[string]float64{"ns_per_op": ns} }
+
+func TestCompareBenches(t *testing.T) {
+	base := map[string]map[string]float64{
+		"BenchmarkMachineReset": bench(100),
+		"BenchmarkSendChain":    bench(200),
+		"BenchmarkRetired":      bench(50),
+		"BenchmarkOther":        bench(10),
+	}
+	cur := map[string]map[string]float64{
+		"BenchmarkMachineReset": bench(115), // +15%: within 20% tolerance
+		"BenchmarkSendChain":    bench(300), // +50%: regression
+		"BenchmarkBrandNew":     bench(70),  // no baseline: reported, not failed
+		"BenchmarkOther":        bench(1000),
+	}
+
+	var b strings.Builder
+	n := compareBenches(&b, cur, base, "Benchmark", 0.20)
+	if n != 2 {
+		t.Errorf("regressions = %d, want 2 (SendChain, Other)\n%s", n, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"REGRESSED", "BenchmarkSendChain", "new", "BenchmarkBrandNew", "missing", "BenchmarkRetired"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Prefix filtering confines the gate to machine-core benchmarks.
+	b.Reset()
+	if n := compareBenches(&b, cur, base, "BenchmarkMachine", 0.20); n != 0 {
+		t.Errorf("prefix-filtered regressions = %d, want 0\n%s", n, b.String())
+	}
+
+	// Improvements never fail, however large.
+	b.Reset()
+	if n := compareBenches(&b, map[string]map[string]float64{"BenchmarkMachineReset": bench(1)}, base, "Benchmark", 0.20); n != 0 {
+		t.Errorf("improvement counted as regression\n%s", b.String())
+	}
+}

@@ -3,26 +3,40 @@
 // Computer Model simulator. See DESIGN.md for the experiment index and
 // EXPERIMENTS.md for recorded results.
 //
+// Every experiment is decomposed into independent measurement points and
+// executed through internal/harness on a pool of recycled machines, so
+// sweeps use all cores by default. Output is byte-identical for any
+// -parallel value at a fixed -seed.
+//
 // Usage:
 //
 //	spatialbench -exp all            # run everything
 //	spatialbench -exp table1        # one experiment
 //	spatialbench -list              # list experiments
 //	spatialbench -exp table1 -quick # smaller sweeps
+//	spatialbench -exp all -parallel 1    # sequential (same output)
 //	spatialbench -exp scan-ablation -csv  # machine-readable series
+//	spatialbench -exp scan-ablation -json # JSON tables
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
+
+	"repro/internal/harness"
 )
 
 type config struct {
 	quick bool
 	csv   bool
-	seed  int64
+	json  bool
+	out   io.Writer
+	h     *harness.Runner
 }
 
 type experiment struct {
@@ -49,14 +63,29 @@ var experiments = []experiment{
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so tests can drive the full
+// CLI (flags, experiment dispatch, exit codes) against in-memory buffers.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("spatialbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expName = flag.String("exp", "all", "experiment to run (see -list)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		quick   = flag.Bool("quick", false, "smaller problem sizes")
-		csv     = flag.Bool("csv", false, "emit CSV series instead of tables where applicable")
-		seed    = flag.Int64("seed", 1, "random seed for workload generation")
+		expName    = fs.String("exp", "all", "experiment to run (see -list)")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		quick      = fs.Bool("quick", false, "smaller problem sizes")
+		csv        = fs.Bool("csv", false, "emit CSV series instead of tables where applicable")
+		jsonOut    = fs.Bool("json", false, "emit JSON tables instead of text")
+		seed       = fs.Int64("seed", 1, "random seed for workload generation")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweep points")
+		progress   = fs.Bool("progress", false, "report per-sweep point completion on stderr")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		names := make([]string, len(experiments))
@@ -64,25 +93,78 @@ func main() {
 			names[i] = fmt.Sprintf("  %-16s %-28s %s", e.name, e.artifact, e.desc)
 		}
 		sort.Strings(names)
-		fmt.Println("experiments:")
+		fmt.Fprintln(stdout, "experiments:")
 		for _, n := range names {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
-		return
+		return 0
 	}
 
-	cfg := config{quick: *quick, csv: *csv, seed: *seed}
-	ran := false
-	for _, e := range experiments {
-		if *expName == "all" || *expName == e.name {
-			fmt.Printf("=== %s — %s ===\n%s\n\n", e.name, e.artifact, e.desc)
-			e.run(cfg)
-			fmt.Println()
-			ran = true
+	if *expName != "all" {
+		known := false
+		for _, e := range experiments {
+			if e.name == *expName {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fmt.Fprintf(stderr, "unknown experiment %q (use -list)\n", *expName)
+			return 2
 		}
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *expName)
-		os.Exit(2)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	opts := []harness.Option{harness.WithWorkers(*parallel)}
+	if *progress {
+		opts = append(opts, harness.WithProgress(func(done, total int) {
+			fmt.Fprintf(stderr, "\r%d/%d points", done, total)
+			if done == total {
+				fmt.Fprintln(stderr)
+			}
+		}))
+	}
+
+	cfg := config{
+		quick: *quick,
+		csv:   *csv,
+		json:  *jsonOut,
+		out:   stdout,
+		h:     harness.New(*seed, opts...),
+	}
+	for _, e := range experiments {
+		if *expName == "all" || *expName == e.name {
+			fmt.Fprintf(stdout, "=== %s — %s ===\n%s\n\n", e.name, e.artifact, e.desc)
+			e.run(cfg)
+			fmt.Fprintln(stdout)
+		}
+	}
+	return 0
 }

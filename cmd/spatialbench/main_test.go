@@ -1,25 +1,121 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+// testConfig builds a config for driving one experiment directly.
+func testConfig(workers int, opts ...func(*config)) config {
+	cfg := config{
+		quick: true,
+		out:   io.Discard,
+		h:     harness.New(1, harness.WithWorkers(workers)),
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
 
 // Smoke tests: the cheap experiments must run to completion without
-// panicking (output goes to stdout; correctness of the numbers is covered
-// by the package tests the experiments are built from).
+// panicking (correctness of the numbers is covered by the package tests the
+// experiments are built from).
 func TestCollectivesExperimentSmoke(t *testing.T) {
-	runCollectives(config{quick: true, seed: 1})
+	runCollectives(testConfig(2))
 }
 
 func TestReduceAblationSmoke(t *testing.T) {
-	runReduceAblation(config{quick: true, seed: 1, csv: true})
+	runReduceAblation(testConfig(2, func(c *config) { c.csv = true }))
 }
 
 func TestScanAblationSmoke(t *testing.T) {
-	runScanAblation(config{quick: true, seed: 1})
+	runScanAblation(testConfig(2))
 }
 
 func TestTreefixExperimentSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("treefix sweep skipped in -short mode")
 	}
-	runTreefix(config{quick: true, seed: 1})
+	runTreefix(testConfig(2))
+}
+
+func TestUnknownExperimentExitCode(t *testing.T) {
+	out, errOut, code := runCLI(t, "-exp", "no-such-experiment")
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown experiment") || !strings.Contains(errOut, "no-such-experiment") {
+		t.Errorf("stderr = %q, want unknown-experiment diagnostic", errOut)
+	}
+	if out != "" {
+		t.Errorf("stdout = %q, want empty (validation happens before any sweep runs)", out)
+	}
+}
+
+func TestBadFlagExitCode(t *testing.T) {
+	if _, _, code := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}
+
+func TestListExperiments(t *testing.T) {
+	out, _, code := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	for _, e := range experiments {
+		if !strings.Contains(out, e.name) {
+			t.Errorf("-list output missing %q", e.name)
+		}
+	}
+}
+
+// TestParallelOutputIdentical is the harness's end-to-end determinism
+// guarantee at the CLI boundary: for a fixed -seed the full byte stream —
+// text tables, CSV and JSON alike — must not depend on -parallel.
+func TestParallelOutputIdentical(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "collectives", "-quick"},
+		{"-exp", "scan-ablation", "-quick", "-csv"},
+		{"-exp", "reduce-ablation", "-quick", "-json"},
+	}
+	for _, base := range cases {
+		name := strings.Join(base, " ")
+		seq, _, code := runCLI(t, append([]string{"-parallel", "1", "-seed", "7"}, base...)...)
+		if code != 0 {
+			t.Fatalf("%s sequential: exit %d", name, code)
+		}
+		par, _, code := runCLI(t, append([]string{"-parallel", "8", "-seed", "7"}, base...)...)
+		if code != 0 {
+			t.Fatalf("%s parallel: exit %d", name, code)
+		}
+		if seq != par {
+			t.Errorf("%s: -parallel 1 and -parallel 8 outputs differ\n--- seq ---\n%s\n--- par ---\n%s", name, seq, par)
+		}
+		if len(seq) == 0 {
+			t.Errorf("%s: empty output", name)
+		}
+	}
+}
+
+func TestJSONOutputShape(t *testing.T) {
+	out, _, code := runCLI(t, "-exp", "reduce-ablation", "-quick", "-json", "-parallel", "4")
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	if !strings.Contains(out, `{"header":["n",`) {
+		t.Errorf("-json output missing JSON table:\n%s", out)
+	}
 }

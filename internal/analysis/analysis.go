@@ -5,6 +5,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -139,6 +140,26 @@ func (t *Table) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// JSON renders the table as a single-line JSON object
+// {"header": [...], "rows": [[...]]} followed by a newline. Cells are the
+// same rendered strings the text and CSV forms use, so all three encodings
+// of a deterministic sweep are deterministic.
+func (t *Table) JSON() string {
+	doc := struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{Header: t.header, Rows: t.rows}
+	if doc.Rows == nil {
+		doc.Rows = [][]string{}
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		// header/rows are plain strings; Marshal cannot fail on them.
+		panic(err)
+	}
+	return string(b) + "\n"
 }
 
 // Verdict compares a measured exponent against a target with tolerance and

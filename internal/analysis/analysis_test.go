@@ -83,6 +83,20 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+func TestTableJSON(t *testing.T) {
+	tb := NewTable("name", "n")
+	tb.AddRow("scan", 1024)
+	got := tb.JSON()
+	want := `{"header":["name","n"],"rows":[["scan","1024"]]}` + "\n"
+	if got != want {
+		t.Errorf("JSON = %q, want %q", got, want)
+	}
+	empty := NewTable("a").JSON()
+	if empty != `{"header":["a"],"rows":[]}`+"\n" {
+		t.Errorf("empty JSON = %q", empty)
+	}
+}
+
 func TestVerdict(t *testing.T) {
 	if v := Verdict(1.52, 1.5, 0.15); !strings.HasPrefix(v, "PASS") {
 		t.Errorf("verdict %q", v)

@@ -1,0 +1,294 @@
+// Package harness runs embarrassingly parallel measurement sweeps across a
+// worker pool of recycled simulation machines.
+//
+// The paper's evaluation is a grid of independent measurement points —
+// (experiment x problem size x algorithm variant), each a fresh run on its
+// own simulated machine. The harness decomposes an experiment into point
+// tasks, executes them on a fixed number of workers, leases machines from a
+// sync.Pool (recycled in place with Machine.Reset) and collects the
+// resulting rows back in point order.
+//
+// Determinism: every point draws its randomness from an RNG seeded by
+// (base seed, sweep name, point index) — never from a stream shared across
+// points — and results are indexed by point, so the emitted tables are
+// byte-identical regardless of the worker count or completion order.
+// Running with one worker reproduces a fully sequential sweep.
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// Row is one table row produced by a sweep point: cells in the column
+// order of the experiment's output table.
+type Row = []any
+
+// One wraps a single row's cells, for the common one-row-per-point case.
+func One(cells ...any) []Row { return []Row{cells} }
+
+// PointFunc computes point i of a sweep and returns its rows. Points of a
+// sweep must be mutually independent: all randomness must come from
+// env.Rng and all simulation must go through env's machine.
+type PointFunc func(i int, env *Env) []Row
+
+// Env is the per-point execution environment.
+type Env struct {
+	// Rng is seeded deterministically from (runner base seed, sweep name,
+	// point index), so a point draws the same workload no matter which
+	// worker runs it or in what order.
+	Rng *rand.Rand
+
+	r    *Runner
+	cong bool
+	m    *machine.Machine
+}
+
+// Machine returns the point's simulation machine, reset to a blank grid.
+// The machine is leased from the runner's pool on first use and returned
+// when the point finishes; calling Machine again within a point resets the
+// same machine for the next measurement.
+func (e *Env) Machine() *machine.Machine {
+	if e.m == nil {
+		e.m = e.r.pool.Get().(*machine.Machine)
+		if e.cong {
+			e.m.EnableCongestionTracking()
+		}
+	}
+	e.m.Reset()
+	return e.m
+}
+
+// Measure runs one computation on a freshly reset machine and returns its
+// cost metrics.
+func (e *Env) Measure(run func(m *machine.Machine)) machine.Metrics {
+	m := e.Machine()
+	run(m)
+	return m.Metrics()
+}
+
+// release returns the leased machine (if any) to the pool, dropping
+// payload references and any per-sweep congestion tracker first.
+func (e *Env) release() {
+	if e.m == nil {
+		return
+	}
+	if e.cong {
+		e.m.DisableCongestionTracking()
+	}
+	e.m.Reset()
+	e.r.pool.Put(e.m)
+	e.m = nil
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithWorkers sets the number of concurrent workers (default GOMAXPROCS).
+// One worker executes points strictly one at a time.
+func WithWorkers(n int) Option {
+	return func(r *Runner) {
+		if n > 0 {
+			r.workers = n
+		}
+	}
+}
+
+// WithProgress installs a callback invoked after every completed point
+// with the number of finished and enqueued points. Calls are serialized
+// but arrive from worker goroutines.
+func WithProgress(f func(done, total int)) Option {
+	return func(r *Runner) { r.progress = f }
+}
+
+// Runner executes sweeps on a bounded worker pool. Sweeps enqueued while
+// others are still running share the same workers, so an experiment can
+// overlap several sweeps by calling Go for each and collecting Rows in
+// order. A Runner is safe for use from one coordinating goroutine; points
+// run on internal workers.
+type Runner struct {
+	workers  int
+	seed     int64
+	progress func(done, total int)
+
+	pool sync.Pool // *machine.Machine, recycled via Reset
+
+	mu      sync.Mutex
+	queue   []task
+	head    int
+	running int
+	done    int
+	total   int
+
+	progressMu sync.Mutex
+}
+
+// New returns a runner whose point RNGs derive from seed.
+func New(seed int64, opts ...Option) *Runner {
+	r := &Runner{seed: seed, workers: runtime.GOMAXPROCS(0)}
+	r.pool.New = func() any { return machine.New() }
+	for _, o := range opts {
+		o(r)
+	}
+	if r.workers < 1 {
+		r.workers = 1
+	}
+	return r
+}
+
+// Workers returns the configured worker count.
+func (r *Runner) Workers() int { return r.workers }
+
+// Sweep is a handle to an in-flight sweep; Rows blocks for its results.
+type Sweep struct {
+	name  string
+	point PointFunc
+	cong  bool
+	rows  [][]Row
+	wg    sync.WaitGroup
+
+	mu  sync.Mutex
+	pan *PointPanic
+}
+
+// SweepOption configures one sweep.
+type SweepOption func(*Sweep)
+
+// WithCongestion leases this sweep's machines with per-link congestion
+// tracking enabled; tracking is removed again when a machine returns to
+// the shared pool.
+func WithCongestion() SweepOption {
+	return func(s *Sweep) { s.cong = true }
+}
+
+// PointPanic is the panic value re-raised by Rows when a point panicked on
+// a worker. It carries the sweep name, point index, and the original panic
+// value and stack.
+type PointPanic struct {
+	Sweep string
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (p *PointPanic) Error() string {
+	return fmt.Sprintf("harness: sweep %q point %d panicked: %v\n%s", p.Sweep, p.Index, p.Value, p.Stack)
+}
+
+// Go enqueues a sweep of n points and returns immediately. The name keys
+// the per-point RNG seeds, so renaming a sweep changes its workloads.
+func (r *Runner) Go(name string, n int, point PointFunc, opts ...SweepOption) *Sweep {
+	s := &Sweep{name: name, point: point, rows: make([][]Row, n)}
+	for _, o := range opts {
+		o(s)
+	}
+	s.wg.Add(n)
+	r.mu.Lock()
+	for i := 0; i < n; i++ {
+		r.queue = append(r.queue, task{s: s, idx: i})
+	}
+	r.total += n
+	// Workers park themselves when the queue drains; top the pool back up
+	// to min(workers, pending).
+	for r.running < r.workers && r.running < len(r.queue)-r.head {
+		r.running++
+		go r.work()
+	}
+	r.mu.Unlock()
+	return s
+}
+
+// Sweep runs a sweep to completion: Go followed by Rows.
+func (r *Runner) Sweep(name string, n int, point PointFunc, opts ...SweepOption) []Row {
+	return r.Go(name, n, point, opts...).Rows()
+}
+
+// Rows waits until every point of the sweep has run and returns their rows
+// flattened in point order. If a point panicked, Rows re-raises the first
+// panic on the caller's goroutine as a *PointPanic.
+func (s *Sweep) Rows() []Row {
+	s.wg.Wait()
+	if s.pan != nil {
+		panic(s.pan)
+	}
+	rows := make([]Row, 0, len(s.rows))
+	for _, rs := range s.rows {
+		rows = append(rows, rs...)
+	}
+	return rows
+}
+
+type task struct {
+	s   *Sweep
+	idx int
+}
+
+func (r *Runner) work() {
+	for {
+		r.mu.Lock()
+		if r.head == len(r.queue) {
+			r.queue = r.queue[:0]
+			r.head = 0
+			r.running--
+			r.mu.Unlock()
+			return
+		}
+		t := r.queue[r.head]
+		r.queue[r.head] = task{}
+		r.head++
+		r.mu.Unlock()
+		t.run(r)
+		r.tick()
+	}
+}
+
+func (t task) run(r *Runner) {
+	s := t.s
+	defer s.wg.Done()
+	env := &Env{Rng: rand.New(rand.NewSource(pointSeed(r.seed, s.name, t.idx))), r: r, cong: s.cong}
+	defer env.release()
+	defer func() {
+		if v := recover(); v != nil {
+			s.mu.Lock()
+			if s.pan == nil {
+				s.pan = &PointPanic{Sweep: s.name, Index: t.idx, Value: v, Stack: debug.Stack()}
+			}
+			s.mu.Unlock()
+		}
+	}()
+	s.rows[t.idx] = s.point(t.idx, env)
+}
+
+func (r *Runner) tick() {
+	r.mu.Lock()
+	r.done++
+	done, total := r.done, r.total
+	f := r.progress
+	r.mu.Unlock()
+	if f != nil {
+		r.progressMu.Lock()
+		f(done, total)
+		r.progressMu.Unlock()
+	}
+}
+
+// pointSeed derives a point's RNG seed from (base seed, sweep name, point
+// index) with an FNV-1a mix. Stable across runs, platforms and worker
+// counts.
+func pointSeed(base int64, sweep string, idx int) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	h.Write([]byte(sweep))
+	binary.LittleEndian.PutUint64(b[:], uint64(idx))
+	h.Write(b[:])
+	return int64(h.Sum64())
+}

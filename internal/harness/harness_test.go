@@ -1,0 +1,242 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// measurePoint is a representative sweep point: draw a workload from the
+// point RNG, run it on the pooled machine, report size and metrics.
+func measurePoint(i int, env *Env) []Row {
+	n := 4 + i%7
+	vals := make([]float64, n)
+	for k := range vals {
+		vals[k] = env.Rng.Float64()
+	}
+	mm := env.Measure(func(m *machine.Machine) {
+		for k, v := range vals {
+			m.Set(machine.Coord{Col: k}, "v", v)
+		}
+		for k := 0; k < n-1; k++ {
+			m.Send(machine.Coord{Col: k}, "v", machine.Coord{Col: k + 1}, "v")
+		}
+	})
+	return One(i, n, float64(mm.Energy), mm.Depth, env.Rng.Int63())
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	var want []Row
+	for _, workers := range []int{1, 2, 4, 13} {
+		rows := New(42, WithWorkers(workers)).Sweep("det", 31, measurePoint)
+		if workers == 1 {
+			want = rows
+			continue
+		}
+		if !reflect.DeepEqual(rows, want) {
+			t.Fatalf("workers=%d rows differ from sequential\nseq: %v\npar: %v", workers, want, rows)
+		}
+	}
+}
+
+func TestRowOrderUnderScrambledCompletion(t *testing.T) {
+	// Early points sleep so later points finish first; rows must still come
+	// back in point order.
+	rows := New(1, WithWorkers(8)).Sweep("order", 16, func(i int, env *Env) []Row {
+		time.Sleep(time.Duration(16-i) * time.Millisecond)
+		return One(i)
+	})
+	for i, r := range rows {
+		if r[0] != i {
+			t.Fatalf("row %d = %v, want [%d]", i, r, i)
+		}
+	}
+}
+
+func TestMultiRowPointsFlattenInOrder(t *testing.T) {
+	rows := New(1, WithWorkers(4)).Sweep("multi", 5, func(i int, env *Env) []Row {
+		out := make([]Row, i%3+1)
+		for j := range out {
+			out[j] = Row{i, j}
+		}
+		return out
+	})
+	want := 0
+	for i := 0; i < 5; i++ {
+		want += i%3 + 1
+	}
+	if len(rows) != want {
+		t.Fatalf("flattened %d rows, want %d", len(rows), want)
+	}
+	for k := 1; k < len(rows); k++ {
+		pi, pj := rows[k-1][0].(int), rows[k-1][1].(int)
+		ci, cj := rows[k][0].(int), rows[k][1].(int)
+		if ci < pi || (ci == pi && cj != pj+1) {
+			t.Fatalf("rows out of order at %d: %v after %v", k, rows[k], rows[k-1])
+		}
+	}
+}
+
+func TestPointSeedIndependentOfSiblingPoints(t *testing.T) {
+	// A point's RNG stream depends only on (seed, sweep, index) — points
+	// must not perturb each other even when they draw different amounts.
+	draws := func(workers, points int) []int64 {
+		out := make([]int64, points)
+		New(7, WithWorkers(workers)).Sweep("iso", points, func(i int, env *Env) []Row {
+			for k := 0; k < i*3; k++ { // i-dependent extra draws
+				env.Rng.Int63()
+			}
+			out[i] = env.Rng.Int63()
+			return nil
+		})
+		return out
+	}
+	if !reflect.DeepEqual(draws(1, 9), draws(6, 9)) {
+		t.Error("per-point RNG streams depend on worker count")
+	}
+	// And distinct points/sweeps get distinct seeds.
+	if pointSeed(1, "a", 0) == pointSeed(1, "a", 1) || pointSeed(1, "a", 0) == pointSeed(1, "b", 0) ||
+		pointSeed(1, "a", 0) == pointSeed(2, "a", 0) {
+		t.Error("pointSeed collisions across index/name/base")
+	}
+}
+
+func TestOverlappedSweepsShareWorkers(t *testing.T) {
+	r := New(3, WithWorkers(4))
+	a := r.Go("a", 9, measurePoint)
+	b := r.Go("b", 9, measurePoint)
+	ar, br := a.Rows(), b.Rows()
+	// Same point function under a different sweep name → different
+	// workloads; under the same name → identical rows.
+	if reflect.DeepEqual(ar, br) {
+		t.Error("sweeps 'a' and 'b' produced identical rows; names should key the RNG")
+	}
+	if again := r.Sweep("a", 9, measurePoint); !reflect.DeepEqual(ar, again) {
+		t.Error("re-running sweep 'a' on the same runner changed its rows")
+	}
+}
+
+func TestPointPanicPropagates(t *testing.T) {
+	defer func() {
+		v := recover()
+		pp, ok := v.(*PointPanic)
+		if !ok {
+			t.Fatalf("recovered %T %v, want *PointPanic", v, v)
+		}
+		if pp.Sweep != "boom" || pp.Index != 3 || pp.Value != "kaput" {
+			t.Errorf("PointPanic = {%q %d %v}", pp.Sweep, pp.Index, pp.Value)
+		}
+		if len(pp.Stack) == 0 {
+			t.Error("PointPanic carries no stack")
+		}
+	}()
+	New(1, WithWorkers(2)).Sweep("boom", 4, func(i int, env *Env) []Row {
+		if i == 3 {
+			panic("kaput")
+		}
+		return One(i)
+	})
+	t.Fatal("Rows returned despite point panic")
+}
+
+func TestWithCongestionScopedToSweep(t *testing.T) {
+	r := New(1, WithWorkers(1))
+	rows := r.Sweep("cong", 1, func(i int, env *Env) []Row {
+		m := env.Machine()
+		m.Set(machine.Coord{}, "v", 1.0)
+		m.Send(machine.Coord{}, "v", machine.Coord{Col: 5}, "v")
+		return One(float64(m.MaxCongestion()))
+	}, WithCongestion())
+	if rows[0][0] != 1.0 {
+		t.Errorf("congestion sweep measured max load %v, want 1", rows[0][0])
+	}
+	// The machine goes back to the pool untracked: a follow-up plain sweep
+	// must see zero congestion accounting.
+	rows = r.Sweep("plain", 1, func(i int, env *Env) []Row {
+		m := env.Machine()
+		m.Set(machine.Coord{}, "v", 1.0)
+		m.Send(machine.Coord{}, "v", machine.Coord{Col: 5}, "v")
+		return One(float64(m.MaxCongestion()))
+	})
+	if rows[0][0] != 0.0 {
+		t.Errorf("plain sweep after congestion sweep measured %v, want 0 (tracker leaked through pool)", rows[0][0])
+	}
+}
+
+func TestMachineResetBetweenMeasures(t *testing.T) {
+	New(1).Sweep("reset", 1, func(i int, env *Env) []Row {
+		first := env.Measure(func(m *machine.Machine) {
+			m.Set(machine.Coord{}, "v", 1.0)
+			m.Send(machine.Coord{}, "v", machine.Coord{Col: 9}, "v")
+		})
+		second := env.Measure(func(m *machine.Machine) {
+			if m.Metrics() != (machine.Metrics{}) {
+				panic("Measure did not reset the machine")
+			}
+			if m.Has(machine.Coord{}, "v") {
+				panic("registers survived into second Measure")
+			}
+		})
+		if second.Energy != 0 {
+			panic(fmt.Sprintf("second measure energy = %d", second.Energy))
+		}
+		_ = first
+		return nil
+	})
+}
+
+func TestProgressReporting(t *testing.T) {
+	var calls atomic.Int32
+	var lastDone, lastTotal atomic.Int32
+	r := New(1, WithWorkers(4), WithProgress(func(done, total int) {
+		calls.Add(1)
+		lastDone.Store(int32(done))
+		lastTotal.Store(int32(total))
+	}))
+	r.Sweep("p", 10, func(i int, env *Env) []Row { return One(i) })
+	if calls.Load() != 10 {
+		t.Errorf("progress called %d times, want 10", calls.Load())
+	}
+	if lastDone.Load() != 10 || lastTotal.Load() != 10 {
+		t.Errorf("final progress = %d/%d, want 10/10", lastDone.Load(), lastTotal.Load())
+	}
+}
+
+func TestWorkersDefaultAndFloor(t *testing.T) {
+	if w := New(1).Workers(); w < 1 {
+		t.Errorf("default workers = %d", w)
+	}
+	if w := New(1, WithWorkers(-3)).Workers(); w != New(1).Workers() {
+		t.Errorf("negative WithWorkers changed count to %d", w)
+	}
+}
+
+// TestSweepMatchesDirectRuns cross-checks the harness against hand-rolled
+// sequential measurement: same seeds, same machines, same metrics.
+func TestSweepMatchesDirectRuns(t *testing.T) {
+	rows := New(99, WithWorkers(5)).Sweep("x", 8, measurePoint)
+	for i := 0; i < 8; i++ {
+		rng := rand.New(rand.NewSource(pointSeed(99, "x", i)))
+		n := 4 + i%7
+		vals := make([]float64, n)
+		for k := range vals {
+			vals[k] = rng.Float64()
+		}
+		m := machine.New()
+		for k, v := range vals {
+			m.Set(machine.Coord{Col: k}, "v", v)
+		}
+		for k := 0; k < n-1; k++ {
+			m.Send(machine.Coord{Col: k}, "v", machine.Coord{Col: k + 1}, "v")
+		}
+		want := Row{i, n, float64(m.Metrics().Energy), m.Metrics().Depth, rng.Int63()}
+		if !reflect.DeepEqual(rows[i], want) {
+			t.Errorf("point %d: harness %v, direct %v", i, rows[i], want)
+		}
+	}
+}

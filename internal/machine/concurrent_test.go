@@ -1,0 +1,82 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// isolationWorkload returns a deterministic workload parameterized by i
+// that mixes plain sends, a Par round, a (nested) Independent fork and
+// register churn, with i-dependent geometry so different workloads produce
+// different metrics.
+func isolationWorkload(i int) func(m *Machine) Metrics {
+	return func(m *Machine) Metrics {
+		span := 3 + i%5
+		for k := 0; k <= span; k++ {
+			m.Set(Coord{0, k}, "v", float64(k+i))
+		}
+		for k := 0; k < span; k++ {
+			m.Send(Coord{0, k}, "v", Coord{0, k + 1}, "v")
+		}
+		m.Par(func(send func(from, to Coord, dstReg Reg, v Value)) {
+			for k := 0; k <= span; k++ {
+				send(Coord{0, k}, Coord{1 + i%3, k}, "w", float64(k))
+			}
+		})
+		m.Independent(
+			func() { m.SendValue(Coord{0, 0}, Coord{7, 7}, "a", 1.0) },
+			func() { m.SendValue(Coord{0, span}, Coord{7, 7}, "b", 2.0) },
+			func() {
+				m.Par(func(send func(from, to Coord, dstReg Reg, v Value)) {
+					send(Coord{1 + i%3, 0}, Coord{9, 9}, "c", 3.0)
+				})
+			},
+		)
+		m.Del(Coord{7, 7}, "a")
+		return m.Metrics()
+	}
+}
+
+// TestConcurrentPooledMachinesIsolated runs many pooled machines at once
+// (each goroutine leases a machine, Resets it, runs a mixed
+// Par/Independent workload and returns it) and asserts every run's metrics
+// match the single-threaded reference. Machines share no state, so this
+// must be race-free and metric-exact; `make check` runs it under -race.
+func TestConcurrentPooledMachinesIsolated(t *testing.T) {
+	const kinds = 8
+	want := make([]Metrics, kinds)
+	for i := 0; i < kinds; i++ {
+		want[i] = isolationWorkload(i)(New())
+	}
+
+	pool := sync.Pool{New: func() any { return New() }}
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 2*kinds; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 25; rep++ {
+				i := (g + rep) % kinds
+				m := pool.Get().(*Machine)
+				m.Reset()
+				got := isolationWorkload(i)(m)
+				pool.Put(m)
+				if got != want[i] {
+					select {
+					case errc <- fmt.Errorf("goroutine %d rep %d workload %d: metrics %v, want %v", g, rep, i, got, want[i]):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}

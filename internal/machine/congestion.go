@@ -46,6 +46,11 @@ func (m *Machine) EnableCongestionTracking() {
 	m.cong = &congestion{tiles: make(map[Coord]*congTile)}
 }
 
+// DisableCongestionTracking stops per-link accounting and discards the
+// recorded loads. Machine pools use it to hand a machine leased for a
+// congestion sweep back to ordinary (tracking-free) service.
+func (m *Machine) DisableCongestionTracking() { m.cong = nil }
+
 // MaxCongestion returns the highest traversal count over all directed mesh
 // links, or 0 if tracking is disabled.
 func (m *Machine) MaxCongestion() int64 {

@@ -168,7 +168,13 @@ const (
 // tile is a dense block of 256 PEs. Arithmetic shift and two's-complement
 // masking make the key/index math correct for negative coordinates too.
 type tile struct {
-	pes [tileSide * tileSide]pe
+	// touched counts this tile's touched PEs, letting Reset and
+	// ResetClocks skip clean tiles entirely. Pooled machines recycled
+	// across sweep points keep the tiles of their largest run, while most
+	// points touch only a small region; the skip makes Reset proportional
+	// to the area the last run actually used.
+	touched int
+	pes     [tileSide * tileSide]pe
 }
 
 func tileKey(c Coord) Coord {
@@ -354,6 +360,7 @@ func (m *Machine) peAt(c Coord) *pe {
 	p := &t.pes[tileIndex(c)]
 	if !p.touched {
 		p.touched = true
+		t.touched++
 		m.touched++
 	}
 	return p
@@ -395,6 +402,9 @@ func (m *Machine) Metrics() Metrics {
 // a later phase in isolation.
 func (m *Machine) ResetClocks() {
 	for _, t := range m.tiles {
+		if t.touched == 0 {
+			continue // clocks only ever change on touched PEs
+		}
 		for i := range t.pes {
 			t.pes[i].clk = clock{}
 		}
@@ -410,6 +420,10 @@ func (m *Machine) ResetClocks() {
 // congestion-tracking setting survive; congestion link loads are cleared.
 func (m *Machine) Reset() {
 	for _, t := range m.tiles {
+		if t.touched == 0 {
+			continue
+		}
+		t.touched = 0
 		for i := range t.pes {
 			p := &t.pes[i]
 			if !p.touched {

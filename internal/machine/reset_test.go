@@ -107,6 +107,48 @@ func TestResetKeepsCongestionTracking(t *testing.T) {
 	}
 }
 
+func TestResetSteadyStateAllocFree(t *testing.T) {
+	m := New()
+	work := func() {
+		for r := 0; r < 32; r++ {
+			for c := 0; c < 32; c++ {
+				m.Set(Coord{r, c}, "v", 1.0)
+			}
+		}
+		m.Send(Coord{0, 0}, "v", Coord{31, 31}, "w")
+		m.Reset()
+	}
+	work() // warm the tiles and per-PE register slices
+	if avg := testing.AllocsPerRun(100, work); avg != 0 {
+		t.Errorf("populate+Reset cycle = %.1f allocs/run, want 0", avg)
+	}
+}
+
+func TestResetSkipsCleanTiles(t *testing.T) {
+	// A machine warmed by a large run and then recycled for a small one
+	// must fully reset the small run's region (tile skipping is an
+	// optimization, not a semantic change).
+	m := New()
+	for r := 0; r < 128; r++ {
+		for c := 0; c < 128; c++ {
+			m.Set(Coord{r, c}, "v", 1.0)
+		}
+	}
+	m.Reset()
+	m.Set(Coord{3, 3}, "v", 42.0)
+	m.Send(Coord{3, 3}, "v", Coord{100, 100}, "v")
+	m.Reset()
+	if m.TouchedPEs() != 0 {
+		t.Fatalf("TouchedPEs = %d, want 0", m.TouchedPEs())
+	}
+	if m.Has(Coord{3, 3}, "v") || m.Has(Coord{100, 100}, "v") {
+		t.Fatal("registers survived Reset")
+	}
+	if got := m.Metrics(); got != (Metrics{}) {
+		t.Fatalf("metrics after Reset = %v, want zero", got)
+	}
+}
+
 func TestNegativeAndTileBoundaryCoords(t *testing.T) {
 	// Exercise PEs straddling tile boundaries (tiles are 16x16) and deep in
 	// the negative quadrants.
