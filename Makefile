@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: check bench test bench-compare
+.PHONY: check bench test bench-compare trace-smoke
 
-# check is the full gate: build, vet and the race-enabled test suite.
+# check is the full gate: build, vet, the race-enabled test suite and the
+# trace-artifact smoke test.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) trace-smoke
 
 test:
 	$(GO) test ./...
@@ -29,3 +31,15 @@ TOL ?= 0.20
 bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkMachine' -benchmem ./internal/machine/ \
 	| $(GO) run ./cmd/benchjson -compare BENCH_machine.json -tol $(TOL) -match BenchmarkMachine
+
+# trace-smoke runs one quick experiment with tracing and heatmap output on
+# and validates the trace_event JSON with cmd/tracecheck (-parallel 1 keeps
+# the phase scopes of the single worker readable).
+TRACE_TMP := $(shell mktemp -d)
+trace-smoke:
+	$(GO) run ./cmd/spatialbench -exp scan-ablation -quick -parallel 1 \
+		-trace $(TRACE_TMP)/trace.json -heatmap $(TRACE_TMP)/heat.csv > /dev/null
+	$(GO) run ./cmd/tracecheck $(TRACE_TMP)/trace.json
+	@head -1 $(TRACE_TMP)/heat.csv | grep -q '^row,col,sends' \
+		|| { echo "trace-smoke: bad heatmap header" >&2; exit 1; }
+	@rm -rf $(TRACE_TMP)

@@ -11,8 +11,10 @@
 // With -compare FILE the parsed run is instead diffed against FILE's
 // "benchmarks" object: every benchmark present in both whose name matches
 // -match is checked, and the command exits 1 if any ns_per_op regresses by
-// more than -tol (fractional, default 0.20). This is the `make
-// bench-compare` regression gate.
+// more than -tol (fractional, default 0.20) or any allocs_per_op grows
+// beyond the same fractional tolerance — a zero-alloc baseline therefore
+// fails on the first allocation. This is the `make bench-compare`
+// regression gate.
 //
 // Usage:
 //
@@ -60,11 +62,13 @@ func parse(r *bufio.Scanner) map[string]map[string]float64 {
 	return benches
 }
 
-// compareBenches reports current-vs-baseline ns_per_op for every benchmark
-// in both maps whose name has the given prefix, and returns the number of
-// regressions beyond tol (fractional slowdown). Benchmarks missing from
-// either side are reported but not counted as failures — sweeps grow new
-// benchmarks, and baselines list retired ones.
+// compareBenches reports current-vs-baseline ns_per_op and allocs_per_op
+// for every benchmark in both maps whose name has the given prefix, and
+// returns the number of regressions: ns_per_op beyond tol (fractional
+// slowdown), or allocs_per_op grown beyond the same fraction. Allocation
+// counts are exact, so any growth over a zero-alloc baseline regresses.
+// Benchmarks missing from either side are reported but not counted as
+// failures — sweeps grow new benchmarks, and baselines list retired ones.
 func compareBenches(w io.Writer, cur, base map[string]map[string]float64, prefix string, tol float64) int {
 	names := make([]string, 0, len(cur))
 	for name := range cur {
@@ -89,9 +93,17 @@ func compareBenches(w io.Writer, cur, base map[string]map[string]float64, prefix
 		status := "ok"
 		if delta > tol {
 			status = "REGRESSED"
+		}
+		curA, baseA := cur[name]["allocs_per_op"], b["allocs_per_op"]
+		allocNote := ""
+		if curA > baseA && curA > baseA*(1+tol) {
+			status = "ALLOCS"
+			allocNote = fmt.Sprintf(" [allocs %g -> %g]", baseA, curA)
+		}
+		if status != "ok" {
 			regressions++
 		}
-		fmt.Fprintf(w, "  %-8s %-44s %12.1f -> %10.1f ns/op (%+.1f%%)\n", status, name, baseNs, curNs, 100*delta)
+		fmt.Fprintf(w, "  %-8s %-44s %12.1f -> %10.1f ns/op (%+.1f%%)%s\n", status, name, baseNs, curNs, 100*delta, allocNote)
 	}
 	for name := range base {
 		if strings.HasPrefix(name, prefix) {

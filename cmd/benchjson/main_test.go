@@ -74,3 +74,46 @@ func TestCompareBenches(t *testing.T) {
 		t.Errorf("improvement counted as regression\n%s", b.String())
 	}
 }
+
+// benchA builds a result with both timing and allocation counts.
+func benchA(ns, allocs float64) map[string]float64 {
+	return map[string]float64{"ns_per_op": ns, "iterations": 1000, "allocs_per_op": allocs}
+}
+
+func TestCompareBenchesAllocs(t *testing.T) {
+	base := map[string]map[string]float64{
+		"BenchmarkZeroAlloc": benchA(100, 0),
+		"BenchmarkSomeAlloc": benchA(100, 10),
+		"BenchmarkDrop":      benchA(100, 5),
+	}
+
+	// Growing over a zero-alloc baseline fails regardless of tolerance;
+	// growth within tolerance on a nonzero baseline and any reduction pass.
+	cur := map[string]map[string]float64{
+		"BenchmarkZeroAlloc": benchA(100, 1),
+		"BenchmarkSomeAlloc": benchA(100, 11),
+		"BenchmarkDrop":      benchA(100, 0),
+	}
+	var b strings.Builder
+	if n := compareBenches(&b, cur, base, "Benchmark", 0.20); n != 1 {
+		t.Errorf("regressions = %d, want 1 (ZeroAlloc)\n%s", n, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "ALLOCS") || !strings.Contains(out, "allocs 0 -> 1") {
+		t.Errorf("report missing alloc diagnostic:\n%s", out)
+	}
+
+	// Growth beyond tolerance on a nonzero baseline fails too.
+	b.Reset()
+	cur = map[string]map[string]float64{"BenchmarkSomeAlloc": benchA(100, 13)}
+	if n := compareBenches(&b, cur, base, "Benchmark", 0.20); n != 1 {
+		t.Errorf("regressions = %d, want 1 (SomeAlloc +30%%)\n%s", n, b.String())
+	}
+
+	// A bench failing on both time and allocations counts once.
+	b.Reset()
+	cur = map[string]map[string]float64{"BenchmarkSomeAlloc": benchA(200, 20)}
+	if n := compareBenches(&b, cur, base, "Benchmark", 0.20); n != 1 {
+		t.Errorf("regressions = %d, want 1 (single bench)\n%s", n, b.String())
+	}
+}

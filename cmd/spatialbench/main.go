@@ -17,6 +17,8 @@
 //	spatialbench -exp all -parallel 1    # sequential (same output)
 //	spatialbench -exp scan-ablation -csv  # machine-readable series
 //	spatialbench -exp scan-ablation -json # JSON tables
+//	spatialbench -exp scan-ablation -quick -parallel 1 -trace out.json \
+//	    -heatmap out.csv              # trace to chrome://tracing + PE heatmap
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"sort"
 
 	"repro/internal/harness"
+	"repro/internal/trace"
 )
 
 type config struct {
@@ -82,6 +85,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		progress   = fs.Bool("progress", false, "report per-sweep point completion on stderr")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut   = fs.String("trace", "", "write a chrome://tracing / Perfetto trace of every message to this file (use -parallel 1 for readable scopes)")
+		heatOut    = fs.String("heatmap", "", "write a per-PE send/recv/link-load heatmap CSV to this file")
+		cpCheck    = fs.Bool("cpcheck", false, "verify every measurement's critical path against its Depth/Distance metrics (slow)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -151,6 +157,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}))
 	}
+	if *cpCheck {
+		opts = append(opts, harness.WithCriticalPathCheck())
+	}
+
+	// Observability sinks are shared by every worker, so they go behind one
+	// lock; the cost is per-message, which only matters when tracing is on.
+	var sinks []trace.Sink
+	var chrome *trace.ChromeSink
+	var heat *trace.Heatmap
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "trace: %v\n", err)
+			return 1
+		}
+		traceFile = f
+		chrome = trace.NewChromeSink(f)
+		sinks = append(sinks, chrome)
+	}
+	if *heatOut != "" {
+		heat = trace.NewHeatmap()
+		sinks = append(sinks, heat)
+	}
+	if len(sinks) > 0 {
+		opts = append(opts, harness.WithSink(trace.Synchronized(trace.Multi(sinks...))))
+	}
 
 	cfg := config{
 		quick: *quick,
@@ -164,6 +197,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "=== %s — %s ===\n%s\n\n", e.name, e.artifact, e.desc)
 			e.run(cfg)
 			fmt.Fprintln(stdout)
+		}
+	}
+
+	if chrome != nil {
+		if err := chrome.Close(); err != nil {
+			fmt.Fprintf(stderr, "trace: %v\n", err)
+			return 1
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(stderr, "trace: %v\n", err)
+			return 1
+		}
+	}
+	if heat != nil {
+		f, err := os.Create(*heatOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "heatmap: %v\n", err)
+			return 1
+		}
+		err = heat.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "heatmap: %v\n", err)
+			return 1
 		}
 	}
 	return 0

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
+	"os"
 	"strings"
 	"testing"
 
@@ -117,5 +119,86 @@ func TestJSONOutputShape(t *testing.T) {
 	}
 	if !strings.Contains(out, `{"header":["n",`) {
 		t.Errorf("-json output missing JSON table:\n%s", out)
+	}
+}
+
+// TestAllExperimentsCriticalPath runs every experiment in quick mode with
+// per-measurement critical-path verification: each measurement's recorded
+// event stream must reconstruct a depth chain of exactly Depth hops and a
+// distance chain summing to Distance. A mismatch panics out of the sweep.
+func TestAllExperimentsCriticalPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full experiment sweep skipped under the race detector (sink concurrency is covered by the harness tests)")
+	}
+	for _, e := range experiments {
+		t.Run(e.name, func(t *testing.T) {
+			e.run(testConfig(4, func(c *config) {
+				c.h = harness.New(1, harness.WithWorkers(4), harness.WithCriticalPathCheck())
+			}))
+		})
+	}
+}
+
+// TestTraceAndHeatmapFlags drives the CLI end to end with -trace and
+// -heatmap and validates the artifacts: parseable trace_event JSON with
+// send slices, and a heatmap CSV with the documented header.
+func TestTraceAndHeatmapFlags(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := dir + "/trace.json"
+	heatFile := dir + "/heat.csv"
+	_, errOut, code := runCLI(t, "-exp", "collectives", "-quick", "-parallel", "1",
+		"-trace", traceFile, "-heatmap", heatFile)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut)
+	}
+
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	sends := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			sends++
+		}
+	}
+	if sends == 0 {
+		t.Error("trace contains no send slices")
+	}
+
+	csvRaw, err := os.ReadFile(heatFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csvRaw)), "\n")
+	if lines[0] != "row,col,sends,recvs,send_traffic,recv_traffic,east,west,south,north" {
+		t.Errorf("heatmap header = %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Error("heatmap CSV has no data rows")
+	}
+}
+
+// TestTraceFlagBadPath: an uncreatable trace file must fail cleanly.
+func TestTraceFlagBadPath(t *testing.T) {
+	_, errOut, code := runCLI(t, "-exp", "collectives", "-quick",
+		"-trace", t.TempDir()+"/no/such/dir/trace.json")
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "trace:") {
+		t.Errorf("stderr = %q, want trace diagnostic", errOut)
 	}
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled lets long-running tests detect the race detector (roughly a
+// 10x slowdown) and skip sweeps that would exceed the test timeout.
+const raceEnabled = true

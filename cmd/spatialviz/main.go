@@ -28,6 +28,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/sortnet"
 	"repro/internal/spmv"
+	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/internal/zorder"
 )
@@ -89,19 +90,15 @@ func drawCurve(kind string, side int) {
 		kind, side, side, energy, side*side-1)
 }
 
-// drawHeat runs an algorithm with a tracer accumulating, per PE, the total
-// Manhattan distance of messages it sends, then renders the map with
-// intensity characters.
+// drawHeat runs an algorithm with a trace.Heatmap sink attached — each PE
+// accumulates the total Manhattan distance of the messages it sends and
+// receives — then renders the map with intensity characters.
 func drawHeat(op string, side int, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	n := side * side
 	m := machine.New()
-	traffic := make(map[machine.Coord]int64)
-	m.SetTracer(func(from, to machine.Coord, v machine.Value) {
-		d := machine.Dist(from, to)
-		traffic[from] += d
-		traffic[to] += d
-	})
+	hm := trace.NewHeatmap()
+	m.SetSink(hm)
 
 	r := grid.Square(machine.Coord{}, side)
 	vals := workload.Array(workload.Random, n, rng)
@@ -141,24 +138,19 @@ func drawHeat(op string, side int, seed int64) {
 		os.Exit(2)
 	}
 
-	// Bounding box of all traffic (algorithms use scratch outside r).
+	// Bounding box of all traffic (algorithms use scratch outside r),
+	// always covering the input region.
 	minR, maxR, minC, maxC := 0, side-1, 0, side-1
 	var peak int64
-	for c, t := range traffic {
-		if c.Row < minR {
-			minR = c.Row
-		}
-		if c.Row > maxR {
-			maxR = c.Row
-		}
-		if c.Col < minC {
-			minC = c.Col
-		}
-		if c.Col > maxC {
-			maxC = c.Col
-		}
-		if t > peak {
-			peak = t
+	if lo, hi, ok := hm.Bounds(); ok {
+		minR, maxR = min(minR, lo.Row), max(maxR, hi.Row)
+		minC, maxC = min(minC, lo.Col), max(maxC, hi.Col)
+	}
+	for row := minR; row <= maxR; row++ {
+		for col := minC; col <= maxC; col++ {
+			if t := hm.Cell(trace.Coord{Row: row, Col: col}).Traffic(); t > peak {
+				peak = t
+			}
 		}
 	}
 	const ramp = " .:-=+*#%@"
@@ -166,7 +158,7 @@ func drawHeat(op string, side int, seed int64) {
 	for row := minR; row <= maxR; row++ {
 		var b strings.Builder
 		for col := minC; col <= maxC; col++ {
-			t := traffic[machine.Coord{Row: row, Col: col}]
+			t := hm.Cell(trace.Coord{Row: row, Col: col}).Traffic()
 			lvl := 0
 			if peak > 0 && t > 0 {
 				lvl = 1 + int(t*int64(len(ramp)-2)/peak)
@@ -179,5 +171,5 @@ func drawHeat(op string, side int, seed int64) {
 		fmt.Println(b.String())
 	}
 	mm := m.Metrics()
-	fmt.Printf("\n%v\n", mm)
+	fmt.Printf("\n%v maxLinkXY=%d\n", mm, hm.MaxLinkLoad())
 }

@@ -1,0 +1,136 @@
+// Command tracecheck validates a Chrome trace_event JSON file — the format
+// `spatialbench -trace` emits and chrome://tracing / Perfetto load. It is
+// the `make trace-smoke` gate: a structurally broken trace fails the build
+// instead of failing silently in a browser tab.
+//
+// Checks: the document parses (either a bare event array or an object with
+// a "traceEvents" array); every event carries a phase type and a name,
+// duration ("X") and begin/end ("B"/"E") events carry timestamps; and
+// B/E scopes balance per (pid, tid) track with LIFO nesting.
+//
+// Usage:
+//
+//	tracecheck trace.json
+//	spatialbench -exp scan-ablation -quick -parallel 1 -trace /dev/stdout | tracecheck /dev/stdin
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+type event struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Pid  int64    `json:"pid"`
+	Tid  int64    `json:"tid"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: tracecheck FILE")
+		return 2
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "tracecheck:", err)
+		return 1
+	}
+
+	events, err := decode(data)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracecheck:", err)
+		return 1
+	}
+	if errs := check(events); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(stderr, "tracecheck:", e)
+		}
+		return 1
+	}
+
+	counts := make(map[string]int)
+	for _, e := range events {
+		counts[e.Ph]++
+	}
+	fmt.Fprintf(stdout, "tracecheck: %s ok: %d events (%d slices, %d begin/end, %d counters, %d metadata)\n",
+		args[0], len(events), counts["X"], counts["B"]+counts["E"], counts["C"], counts["M"])
+	return 0
+}
+
+// decode accepts both trace_event layouts: a bare JSON array of events, or
+// an object whose "traceEvents" member holds the array.
+func decode(data []byte) ([]event, error) {
+	var events []event
+	if err := json.Unmarshal(data, &events); err == nil {
+		return events, nil
+	}
+	var doc struct {
+		TraceEvents *[]event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return nil, fmt.Errorf("neither a JSON event array nor an object with a traceEvents array")
+	}
+	return *doc.TraceEvents, nil
+}
+
+type track struct {
+	Pid, Tid int64
+}
+
+// check validates per-event required fields and per-track B/E balance.
+// It collects every violation rather than stopping at the first.
+func check(events []event) []string {
+	var errs []string
+	fail := func(format string, a ...any) {
+		if len(errs) < 20 { // enough to diagnose, bounded for huge traces
+			errs = append(errs, fmt.Sprintf(format, a...))
+		}
+	}
+	stacks := make(map[track][]string)
+	for i, e := range events {
+		switch e.Ph {
+		case "":
+			fail("event %d: missing ph", i)
+			continue
+		case "X", "B", "E", "C":
+			if e.Ts == nil {
+				fail("event %d (%s %q): missing ts", i, e.Ph, e.Name)
+			}
+		}
+		if e.Name == "" {
+			fail("event %d (%s): missing name", i, e.Ph)
+		}
+		tr := track{e.Pid, e.Tid}
+		switch e.Ph {
+		case "B":
+			stacks[tr] = append(stacks[tr], e.Name)
+		case "E":
+			st := stacks[tr]
+			if len(st) == 0 {
+				fail("event %d: E %q on pid=%d tid=%d with no open scope", i, e.Name, e.Pid, e.Tid)
+				continue
+			}
+			if top := st[len(st)-1]; e.Name != "" && top != e.Name {
+				fail("event %d: E %q closes open scope %q (pid=%d tid=%d)", i, e.Name, top, e.Pid, e.Tid)
+			}
+			stacks[tr] = st[:len(st)-1]
+		}
+	}
+	for tr, st := range stacks {
+		if len(st) > 0 {
+			fail("pid=%d tid=%d: %d unclosed scope(s), innermost %q", tr.Pid, tr.Tid, len(st), st[len(st)-1])
+		}
+	}
+	return errs
+}

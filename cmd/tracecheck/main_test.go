@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+func runCheck(t *testing.T, content string) (string, string, int) {
+	t.Helper()
+	f := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(f, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{f}, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestValidObjectForm(t *testing.T) {
+	out, errOut, code := runCheck(t, `{"traceEvents":[
+		{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"grid"}},
+		{"name":"a","ph":"B","ts":1,"pid":1,"tid":0},
+		{"name":"send d=1","ph":"X","ts":2,"dur":1,"pid":0,"tid":0},
+		{"name":"a","ph":"E","ts":3,"pid":1,"tid":0}
+	]}`)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "4 events") || !strings.Contains(out, "1 slices") {
+		t.Errorf("summary = %q", out)
+	}
+}
+
+func TestValidBareArray(t *testing.T) {
+	_, errOut, code := runCheck(t, `[{"name":"x","ph":"X","ts":1,"pid":0,"tid":0}]`)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+}
+
+func TestViolations(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"not JSON", `{"traceEvents":[`, "not valid JSON"},
+		{"wrong shape", `{"foo":1}`, "neither a JSON event array"},
+		{"missing ph", `[{"name":"x","ts":1}]`, "missing ph"},
+		{"missing ts", `[{"name":"x","ph":"X","pid":0,"tid":0}]`, "missing ts"},
+		{"missing name", `[{"ph":"X","ts":1,"pid":0,"tid":0}]`, "missing name"},
+		{"unbalanced E", `[{"name":"a","ph":"E","ts":1,"pid":0,"tid":0}]`, "no open scope"},
+		{"unclosed B", `[{"name":"a","ph":"B","ts":1,"pid":0,"tid":0}]`, "unclosed scope"},
+		{"crossed scopes", `[
+			{"name":"a","ph":"B","ts":1,"pid":0,"tid":0},
+			{"name":"b","ph":"B","ts":2,"pid":0,"tid":0},
+			{"name":"a","ph":"E","ts":3,"pid":0,"tid":0},
+			{"name":"b","ph":"E","ts":4,"pid":0,"tid":0}
+		]`, "closes open scope"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, errOut, code := runCheck(t, c.doc)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1", code)
+			}
+			if !strings.Contains(errOut, c.want) {
+				t.Errorf("stderr = %q, want %q", errOut, c.want)
+			}
+		})
+	}
+}
+
+// TestScopesBalancePerTrack: identical names on different (pid,tid) tracks
+// are independent scopes.
+func TestScopesBalancePerTrack(t *testing.T) {
+	_, errOut, code := runCheck(t, `[
+		{"name":"a","ph":"B","ts":1,"pid":0,"tid":0},
+		{"name":"a","ph":"B","ts":2,"pid":0,"tid":1},
+		{"name":"a","ph":"E","ts":3,"pid":0,"tid":0},
+		{"name":"a","ph":"E","ts":4,"pid":0,"tid":1}
+	]`)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+}
+
+// TestChromeSinkOutputPasses validates a real trace produced by the
+// machine + ChromeSink pipeline, phases included.
+func TestChromeSinkOutputPasses(t *testing.T) {
+	var buf bytes.Buffer
+	cs := trace.NewChromeSink(&buf)
+	m := machine.New()
+	m.SetSink(cs)
+	m.Phase("demo/stage1")
+	m.Set(machine.Coord{}, "v", 1.0)
+	m.Send(machine.Coord{}, "v", machine.Coord{Row: 2}, "v")
+	m.Phase("demo/stage2")
+	m.Send(machine.Coord{Row: 2}, "v", machine.Coord{Row: 2, Col: 3}, "v")
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code := runCheck(t, buf.String())
+	if code != 0 {
+		t.Fatalf("real ChromeSink trace failed validation (exit %d): %s", code, errOut)
+	}
+}
+
+func TestUsageAndMissingFile(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"/no/such/file.json"}, &out, &errOut); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // Row is one table row produced by a sweep point: cells in the column
@@ -49,6 +50,7 @@ type Env struct {
 	r    *Runner
 	cong bool
 	m    *machine.Machine
+	cp   *trace.CriticalPath
 }
 
 // Machine returns the point's simulation machine, reset to a blank grid.
@@ -61,9 +63,47 @@ func (e *Env) Machine() *machine.Machine {
 		if e.cong {
 			e.m.EnableCongestionTracking()
 		}
+		var sinks []trace.Sink
+		if e.r.cpCheck {
+			e.cp = trace.NewCriticalPath()
+			sinks = append(sinks, e.cp)
+		}
+		if e.r.sink != nil {
+			sinks = append(sinks, e.r.sink)
+		}
+		e.m.SetSink(trace.Multi(sinks...))
+	} else {
+		// A re-lease within a point ends the previous measurement: verify
+		// its critical paths before Reset discards the metrics.
+		e.verify()
 	}
 	e.m.Reset()
+	if e.cp != nil {
+		e.cp.Reset()
+	}
 	return e.m
+}
+
+// verify cross-checks the recorded event stream against the machine's
+// metrics when the runner runs WithCriticalPathCheck: the reconstructed
+// depth path must have exactly Depth hops and the distance path must sum to
+// Distance. A mismatch panics (surfaced by Rows as a *PointPanic) — it
+// means the cost accounting and the event stream disagree.
+func (e *Env) verify() {
+	if e.cp == nil || e.m == nil {
+		return
+	}
+	met := e.m.Metrics()
+	if dp := e.cp.DepthPath(); int64(len(dp)) != met.Depth {
+		panic(fmt.Sprintf("harness: critical-path check: depth path has %d hops, Depth = %d", len(dp), met.Depth))
+	}
+	var sum int64
+	for _, ev := range e.cp.DistancePath() {
+		sum += ev.Dist
+	}
+	if sum != met.Distance {
+		panic(fmt.Sprintf("harness: critical-path check: distance path sums to %d, Distance = %d", sum, met.Distance))
+	}
 }
 
 // Measure runs one computation on a freshly reset machine and returns its
@@ -75,7 +115,8 @@ func (e *Env) Measure(run func(m *machine.Machine)) machine.Metrics {
 }
 
 // release returns the leased machine (if any) to the pool, dropping
-// payload references and any per-sweep congestion tracker first.
+// payload references, the trace sink and any per-sweep congestion tracker
+// first.
 func (e *Env) release() {
 	if e.m == nil {
 		return
@@ -84,8 +125,10 @@ func (e *Env) release() {
 		e.m.DisableCongestionTracking()
 	}
 	e.m.Reset()
+	e.m.SetSink(nil)
 	e.r.pool.Put(e.m)
 	e.m = nil
+	e.cp = nil
 }
 
 // Option configures a Runner.
@@ -108,6 +151,26 @@ func WithProgress(f func(done, total int)) Option {
 	return func(r *Runner) { r.progress = f }
 }
 
+// WithSink attaches a trace sink to every machine the runner leases out;
+// the sink observes the messages of every point on every worker. With more
+// than one worker the workers feed it concurrently, so pass a sink wrapped
+// in trace.Synchronized (or run one worker). The runner does not close the
+// sink.
+func WithSink(s trace.Sink) Option {
+	return func(r *Runner) { r.sink = s }
+}
+
+// WithCriticalPathCheck makes every measurement self-verifying: each leased
+// machine records its event stream into a per-point trace.CriticalPath, and
+// at the end of every measurement the reconstructed depth and distance
+// paths are checked against the machine's Depth and Distance metrics. A
+// mismatch panics, which Sweep.Rows surfaces as a *PointPanic. Recording is
+// O(messages) memory per in-flight point — a correctness harness, not a
+// production mode.
+func WithCriticalPathCheck() Option {
+	return func(r *Runner) { r.cpCheck = true }
+}
+
 // Runner executes sweeps on a bounded worker pool. Sweeps enqueued while
 // others are still running share the same workers, so an experiment can
 // overlap several sweeps by calling Go for each and collecting Rows in
@@ -117,6 +180,8 @@ type Runner struct {
 	workers  int
 	seed     int64
 	progress func(done, total int)
+	sink     trace.Sink
+	cpCheck  bool
 
 	pool sync.Pool // *machine.Machine, recycled via Reset
 
@@ -264,6 +329,10 @@ func (t task) run(r *Runner) {
 		}
 	}()
 	s.rows[t.idx] = s.point(t.idx, env)
+	// The point's final measurement ends here; check it before release
+	// resets the machine (the recover above turns a mismatch into the
+	// sweep's PointPanic).
+	env.verify()
 }
 
 func (r *Runner) tick() {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // measurePoint is a representative sweep point: draw a workload from the
@@ -238,5 +239,124 @@ func TestSweepMatchesDirectRuns(t *testing.T) {
 		if !reflect.DeepEqual(rows[i], want) {
 			t.Errorf("point %d: harness %v, direct %v", i, rows[i], want)
 		}
+	}
+}
+
+// TestWithSinkSharedHeatmap feeds one Synchronized heatmap from every
+// worker of a parallel sweep and cross-checks its totals against the summed
+// point metrics. Run under -race this is the concurrency test for
+// runner-level sinks.
+func TestWithSinkSharedHeatmap(t *testing.T) {
+	hm := trace.NewHeatmap()
+	r := New(1, WithWorkers(4), WithSink(trace.Synchronized(hm)))
+	var energy, messages int64
+	rows := r.Sweep("sink-heatmap", 32, func(i int, env *Env) []Row {
+		mm := env.Measure(func(m *machine.Machine) {
+			n := 4 + i%5
+			for k := 0; k < n; k++ {
+				m.Set(machine.Coord{Col: k}, "v", float64(k))
+			}
+			for k := 0; k < n-1; k++ {
+				m.Send(machine.Coord{Col: k}, "v", machine.Coord{Col: k + 1}, "v")
+			}
+		})
+		atomic.AddInt64(&energy, mm.Energy)
+		atomic.AddInt64(&messages, mm.Messages)
+		return One(i)
+	})
+	if len(rows) != 32 {
+		t.Fatalf("got %d rows, want 32", len(rows))
+	}
+	if hm.Events() != messages {
+		t.Errorf("heatmap observed %d events, points sent %d messages", hm.Events(), messages)
+	}
+	var traffic int64
+	_, cells := hm.Grid()
+	for _, row := range cells {
+		for _, c := range row {
+			traffic += c.SendTraffic
+		}
+	}
+	if traffic != energy {
+		t.Errorf("heatmap send traffic %d, summed point energy %d", traffic, energy)
+	}
+}
+
+// TestWithCriticalPathCheckPasses runs a parallel sweep with per-point
+// verification enabled: every measurement (including several per point, and
+// Par rounds) must reconstruct chains matching its Depth and Distance.
+func TestWithCriticalPathCheckPasses(t *testing.T) {
+	r := New(7, WithWorkers(4), WithCriticalPathCheck())
+	rows := r.Sweep("cp-check", 24, func(i int, env *Env) []Row {
+		// Two measurements per point: verify must fire between them too.
+		_ = env.Measure(func(m *machine.Machine) {
+			m.Set(machine.Coord{}, "v", 1.0)
+			m.Send(machine.Coord{}, "v", machine.Coord{Row: 3}, "v")
+		})
+		mm := env.Measure(func(m *machine.Machine) {
+			n := 3 + i%6
+			for k := 0; k < n; k++ {
+				m.Set(machine.Coord{Col: k}, "v", float64(k))
+			}
+			m.Par(func(send func(from, to machine.Coord, dstReg machine.Reg, v machine.Value)) {
+				for k := 0; k < n; k++ {
+					send(machine.Coord{Col: k}, machine.Coord{Row: 1, Col: k}, "v", float64(k))
+				}
+			})
+			for k := 0; k < n-1; k++ {
+				m.Send(machine.Coord{Row: 1, Col: k}, "v", machine.Coord{Row: 1, Col: k + 1}, "v")
+			}
+		})
+		return One(i, mm.Depth)
+	})
+	if len(rows) != 24 {
+		t.Fatalf("got %d rows, want 24", len(rows))
+	}
+}
+
+// TestWithCriticalPathCheckCatchesTampering: a point that fakes the event
+// stream (an extra event the machine never sent) must fail the check with a
+// PointPanic.
+func TestWithCriticalPathCheckCatchesTampering(t *testing.T) {
+	r := New(7, WithWorkers(1), WithCriticalPathCheck())
+	defer func() {
+		v := recover()
+		pp, ok := v.(*PointPanic)
+		if !ok {
+			t.Fatalf("recovered %T %v, want *PointPanic", v, v)
+		}
+		if pp.Sweep != "cp-tamper" {
+			t.Errorf("panic from sweep %q", pp.Sweep)
+		}
+	}()
+	r.Sweep("cp-tamper", 1, func(i int, env *Env) []Row {
+		m := env.Machine()
+		m.Set(machine.Coord{}, "v", 1.0)
+		m.Send(machine.Coord{}, "v", machine.Coord{Row: 2}, "v")
+		// Inject a bogus deeper event directly into the sink.
+		trace.Walk(m.Sink(), func(s trace.Sink) {
+			if cp, ok := s.(*trace.CriticalPath); ok {
+				cp.Event(&trace.Event{Seq: 99, From: trace.Coord{Row: 2}, To: trace.Coord{Row: 4},
+					Dist: 2, DepthBefore: 1, DepthAfter: 2, DistBefore: 2, DistAfter: 4})
+			}
+		})
+		return One(i)
+	})
+	t.Fatal("sweep with tampered event stream did not panic")
+}
+
+// TestReleasedMachinesDropSinks: machines returned to the pool must not
+// carry a sink into the next lease when the runner has none configured.
+func TestReleasedMachinesDropSinks(t *testing.T) {
+	r := New(1, WithWorkers(1), WithCriticalPathCheck())
+	_ = r.Sweep("first", 1, func(i int, env *Env) []Row {
+		m := env.Machine()
+		m.Set(machine.Coord{}, "v", 1.0)
+		m.Send(machine.Coord{}, "v", machine.Coord{Row: 1}, "v")
+		return One(i)
+	})
+	m := r.pool.Get().(*machine.Machine)
+	if s := m.Sink(); s != nil {
+		t.Errorf("pooled machine still carries sink %T", s)
 	}
 }

@@ -7,6 +7,8 @@ package machine
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // BenchmarkMachineSendChain measures a long relay chain: one Get + one
@@ -137,6 +139,23 @@ func BenchmarkMachineResetSparse(b *testing.B) {
 		}
 		m.Reset()
 	}
+}
+
+// BenchmarkMachineSendTraced measures the relay chain with a trace sink
+// attached — the price of observability when it is switched on. (The
+// disabled case is covered by BenchmarkMachineSendChain, whose nil sink
+// check is the only cost and which the bench-compare gate holds flat.)
+func BenchmarkMachineSendTraced(b *testing.B) {
+	m := New()
+	var count int64
+	m.SetSink(trace.SinkFunc(func(e *trace.Event) { count += e.Dist }))
+	m.Set(Coord{0, 0}, "v", 1.0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(Coord{0, i % 64}, "v", Coord{0, i%64 + 1}, "v")
+	}
+	_ = count
 }
 
 // BenchmarkMachineCongestion measures XY-routed link accounting on a

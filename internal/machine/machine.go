@@ -39,6 +39,8 @@ package machine
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/trace"
 )
 
 // Coord identifies the processing element p_{Row,Col} on the grid. The grid
@@ -219,10 +221,6 @@ func (m Metrics) String() string {
 		m.Energy, m.Depth, m.Distance, m.Messages, m.PeakMemory)
 }
 
-// Tracer receives a callback for every message sent, for visualization and
-// debugging. It must not mutate the machine.
-type Tracer func(from, to Coord, v Value)
-
 // delivery is one message of a Par round, buffered until the round closes.
 type delivery struct {
 	to    Coord
@@ -284,7 +282,11 @@ type Machine struct {
 	// cong, when non-nil, tracks per-link traffic (see congestion.go).
 	cong *congestion
 
-	tracer Tracer
+	// sink, when non-nil, receives one trace.Event per message sent; phase
+	// is the current Phase annotation stamped onto emitted events. The
+	// send fast paths pay a nil check only when tracing is disabled.
+	sink  trace.Sink
+	phase string
 }
 
 // New returns an empty machine with unlimited per-PE memory accounting
@@ -304,8 +306,39 @@ func NewWithMemoryLimit(limit int) *Machine {
 	return m
 }
 
-// SetTracer installs a message tracer (nil removes it).
-func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+// SetSink installs a trace sink receiving one trace.Event per message sent
+// (nil removes it). The sink is invoked synchronously on the send path and
+// must not call back into the machine. It survives Reset, so a pooled
+// machine keeps streaming across sweep points until the sink is removed.
+func (m *Machine) SetSink(s trace.Sink) { m.sink = s }
+
+// Sink returns the installed trace sink, or nil.
+func (m *Machine) Sink() trace.Sink { return m.sink }
+
+// Phase annotates subsequent messages with a phase name, stamped onto the
+// emitted trace events ("" clears it). Slash-separated names ("sort/merge")
+// render as nested scopes in trace.ChromeSink. Phases are labels only: they
+// do not affect the cost metrics.
+func (m *Machine) Phase(name string) { m.phase = name }
+
+// emit streams one message to the sink. Only called with m.sink != nil;
+// kept out of line so the traced branch does not grow the send fast path.
+func (m *Machine) emit(from, to Coord, d int64, v Value, msgDepth, msgDist int64) {
+	e := trace.Event{
+		Seq:         m.messages,
+		From:        trace.Coord(from),
+		To:          trace.Coord(to),
+		Dist:        d,
+		Value:       v,
+		DepthBefore: msgDepth - 1,
+		DepthAfter:  msgDepth,
+		DistBefore:  msgDist - d,
+		DistAfter:   msgDist,
+		EnergyCum:   m.energy,
+		Phase:       m.phase,
+	}
+	m.sink.Event(&e)
+}
 
 // regID interns a register name, assigning the next small id on first use.
 func (m *Machine) regID(name Reg) regID {
@@ -416,8 +449,9 @@ func (m *Machine) ResetClocks() {
 // registers freed, all clocks and cost counters zeroed — while keeping the
 // allocated tiles, per-PE register slices, interning table and round buffers
 // for reuse. Sweeps run many sizes on one machine with Reset between points
-// instead of reallocating the grid each time. The memory limit, tracer and
-// congestion-tracking setting survive; congestion link loads are cleared.
+// instead of reallocating the grid each time. The memory limit, trace sink
+// and congestion-tracking setting survive (the phase annotation is
+// cleared); congestion link loads are cleared.
 func (m *Machine) Reset() {
 	for _, t := range m.tiles {
 		if t.touched == 0 {
@@ -443,6 +477,7 @@ func (m *Machine) Reset() {
 	m.touched = 0
 	m.energy, m.messages, m.maxDepth, m.maxDist = 0, 0, 0, 0
 	m.peakMem = 0
+	m.phase = ""
 	m.indepLogs = m.indepLogs[:0]
 	m.indepGens = m.indepGens[:0]
 	if m.cong != nil {
@@ -541,8 +576,8 @@ func (m *Machine) SendValue(from, to Coord, dstReg Reg, v Value) {
 	dst.set(m.regID(dstReg), v)
 	m.noteMem(to, dst)
 
-	if m.tracer != nil {
-		m.tracer(from, to, v)
+	if m.sink != nil {
+		m.emit(from, to, d, v, msgDepth, msgDist)
 	}
 }
 
@@ -701,8 +736,8 @@ func (m *Machine) Par(round func(send func(from, to Coord, dstReg Reg, v Value))
 			m.maxDist = msg.dist
 		}
 		pending = append(pending, msg)
-		if m.tracer != nil {
-			m.tracer(from, to, v)
+		if m.sink != nil {
+			m.emit(from, to, d, v, msg.depth, msg.dist)
 		}
 	}
 	round(send)

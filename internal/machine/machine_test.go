@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/trace"
 )
 
 func TestDist(t *testing.T) {
@@ -239,15 +241,77 @@ func TestMetricsSub(t *testing.T) {
 	}
 }
 
-func TestTracerSeesMessages(t *testing.T) {
+func TestSinkSeesMessages(t *testing.T) {
 	m := New()
-	var n int
-	m.SetTracer(func(from, to Coord, v Value) { n++ })
+	var events []trace.Event
+	m.SetSink(trace.SinkFunc(func(e *trace.Event) { events = append(events, *e) }))
 	m.Set(Coord{0, 0}, "v", 1)
 	m.Send(Coord{0, 0}, "v", Coord{1, 1}, "v")
 	m.Send(Coord{1, 1}, "v", Coord{2, 2}, "v")
-	if n != 2 {
-		t.Errorf("tracer saw %d messages, want 2", n)
+	m.Send(Coord{2, 2}, "v", Coord{2, 2}, "v") // self-send: free, not traced
+	if len(events) != 2 {
+		t.Fatalf("sink saw %d messages, want 2", len(events))
+	}
+	first, second := events[0], events[1]
+	want := trace.Event{Seq: 1, From: trace.Coord{Row: 0, Col: 0}, To: trace.Coord{Row: 1, Col: 1}, Dist: 2,
+		Value: 1, DepthBefore: 0, DepthAfter: 1, DistBefore: 0, DistAfter: 2, EnergyCum: 2}
+	if first != want {
+		t.Errorf("first event = %+v, want %+v", first, want)
+	}
+	want = trace.Event{Seq: 2, From: trace.Coord{Row: 1, Col: 1}, To: trace.Coord{Row: 2, Col: 2}, Dist: 2,
+		Value: 1, DepthBefore: 1, DepthAfter: 2, DistBefore: 2, DistAfter: 4, EnergyCum: 4}
+	if second != want {
+		t.Errorf("second event = %+v, want %+v", second, want)
+	}
+	mm := m.Metrics()
+	if second.DepthAfter != mm.Depth || second.DistAfter != mm.Distance || second.EnergyCum != mm.Energy {
+		t.Errorf("final event chain (%d,%d,%d) disagrees with metrics %v",
+			second.DepthAfter, second.DistAfter, second.EnergyCum, mm)
+	}
+}
+
+func TestSinkParSnapshotDepths(t *testing.T) {
+	m := New()
+	var events []trace.Event
+	m.SetSink(trace.SinkFunc(func(e *trace.Event) { events = append(events, *e) }))
+	m.Set(Coord{0, 0}, "v", 1.0)
+	m.SendValue(Coord{0, 0}, Coord{0, 1}, "v", 1.0)
+	// Within one round, the relay out of (0,1) uses the start-of-round
+	// clock: the incoming message of the same round must not extend it.
+	m.Par(func(send func(from, to Coord, dstReg Reg, v Value)) {
+		send(Coord{0, 0}, Coord{0, 1}, "w", 2.0)
+		send(Coord{0, 1}, Coord{0, 2}, "v", 3.0)
+	})
+	if len(events) != 3 {
+		t.Fatalf("saw %d events, want 3", len(events))
+	}
+	if got := events[2]; got.DepthBefore != 1 || got.DepthAfter != 2 {
+		t.Errorf("round relay depths = (%d,%d), want (1,2)", got.DepthBefore, got.DepthAfter)
+	}
+}
+
+func TestPhaseStampsEventsAndResets(t *testing.T) {
+	m := New()
+	var phases []string
+	m.SetSink(trace.SinkFunc(func(e *trace.Event) { phases = append(phases, e.Phase) }))
+	m.Set(Coord{0, 0}, "v", 1)
+	m.Send(Coord{0, 0}, "v", Coord{0, 1}, "v")
+	m.Phase("up")
+	m.Send(Coord{0, 1}, "v", Coord{0, 2}, "v")
+	m.Phase("")
+	m.Send(Coord{0, 2}, "v", Coord{0, 3}, "v")
+	m.Phase("stale")
+	m.Reset() // clears the phase, keeps the sink
+	m.Set(Coord{0, 0}, "v", 1)
+	m.Send(Coord{0, 0}, "v", Coord{0, 1}, "v")
+	want := []string{"", "up", "", ""}
+	if len(phases) != len(want) {
+		t.Fatalf("saw %d events, want %d", len(phases), len(want))
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Errorf("event %d phase = %q, want %q", i, phases[i], want[i])
+		}
 	}
 }
 

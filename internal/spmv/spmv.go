@@ -120,14 +120,17 @@ func Multiply(m *machine.Machine, a Matrix, x []float64) ([]float64, error) {
 	}
 
 	// Step 1: sort the triples by column index (padding last).
+	m.Phase("spmv/sort-cols")
 	core.SortToTrack(m, mat, regT, mt, regT, tripleByCol)
 
 	// Step 2: column leaders — each PE learns its Z-order predecessor's
 	// column index.
+	m.Phase("spmv/col-leaders")
 	electLeaders(m, mt, total, func(t triple) int64 { return colKey(t) })
 
 	// Step 3: column leaders fetch x_j and a segmented broadcast (a
 	// segmented scan with the First operator) distributes it.
+	m.Phase("spmv/broadcast-x")
 	m.Par(func(send func(from, to machine.Coord, dstReg machine.Reg, v machine.Value)) {
 		for i := 0; i < total; i++ {
 			c := mt.At(i)
@@ -169,13 +172,16 @@ func Multiply(m *machine.Machine, a Matrix, x []float64) ([]float64, error) {
 	}
 
 	// Step 5: sort the products by row index.
+	m.Phase("spmv/sort-rows")
 	core.SortToTrack(m, mat, regT, mt, regT, tripleByRow)
 
 	// Step 6: row leaders.
+	m.Phase("spmv/row-leaders")
 	electLeaders(m, mt, total, func(t triple) int64 { return rowKey(t) })
 
 	// Step 7: segmented scan sums each row's products; the last PE of a
 	// segment holds the row total and routes it to the output subgrid.
+	m.Phase("spmv/row-sums")
 	for i := 0; i < total; i++ {
 		c := mt.At(i)
 		t := m.Get(c, regT).(triple)
@@ -186,6 +192,7 @@ func Multiply(m *machine.Machine, a Matrix, x []float64) ([]float64, error) {
 		m.Set(c, regBV, prod)
 	}
 	collectives.SegmentedScan(m, mat, regBV, regHead, collectives.Add, 0.0)
+	m.Phase("spmv/route-out")
 	// A PE is the last of its segment iff its successor is a head (or it
 	// is the final PE); learn the successor's head flag in one round.
 	m.Par(func(send func(from, to machine.Coord, dstReg machine.Reg, v machine.Value)) {

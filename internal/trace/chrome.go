@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ChromeSink streams the event stream as trace_event JSON — the format
+// chrome://tracing and Perfetto (https://ui.perfetto.dev) load directly.
+//
+// Layout: process 0 ("grid") holds one track per grid row, and every
+// message is a complete ("X") slice on its sender's row track, one
+// sequence tick wide (ts is the message sequence number: the model has no
+// wall clock, so trace time is message order). Process 1 ("phases") holds
+// the machine's Phase annotations as begin/end scopes — slash-separated
+// phase names ("spmv/sort-cols") open nested scopes — plus running energy
+// and chain-depth counter tracks.
+//
+// Events are written as they arrive; Close terminates open scopes and the
+// JSON document. The sink owns neither the writer nor its closing. Not
+// safe for concurrent use unless wrapped in Synchronized (and with
+// several machines feeding one file, ts order interleaves — trace one
+// machine, or one worker, per file for readable scopes).
+type ChromeSink struct {
+	bw      *bufio.Writer
+	err     error
+	started bool
+	first   bool
+	rows    map[int]bool
+	stack   []string
+	lastSeq int64
+	count   int64
+}
+
+const (
+	chromePidGrid   = 0
+	chromePidPhases = 1
+	// chromeCounterEvery spaces the running energy/depth counter samples;
+	// every message would double the file size.
+	chromeCounterEvery = 64
+)
+
+// NewChromeSink returns a sink streaming trace_event JSON to w.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	return &ChromeSink{bw: bufio.NewWriter(w), rows: make(map[int]bool)}
+}
+
+// raw writes one pre-rendered event object, managing commas.
+func (s *ChromeSink) raw(line string) {
+	if s.err != nil {
+		return
+	}
+	if !s.first {
+		_, s.err = s.bw.WriteString(",\n")
+		if s.err != nil {
+			return
+		}
+	}
+	s.first = false
+	_, s.err = s.bw.WriteString(line)
+}
+
+func jstr(v string) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return `"?"`
+	}
+	return string(b)
+}
+
+func (s *ChromeSink) header() {
+	if s.started || s.err != nil {
+		return
+	}
+	s.started = true
+	s.first = true
+	_, s.err = s.bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	s.raw(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"grid"}}`, chromePidGrid))
+	s.raw(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"phases"}}`, chromePidPhases))
+}
+
+// rowTrack lazily names the sender-row track.
+func (s *ChromeSink) rowTrack(row int) {
+	if s.rows[row] {
+		return
+	}
+	s.rows[row] = true
+	s.raw(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+		chromePidGrid, row, jstr(fmt.Sprintf("row %d", row))))
+	s.raw(fmt.Sprintf(`{"name":"thread_sort_index","ph":"M","pid":%d,"tid":%d,"args":{"sort_index":%d}}`,
+		chromePidGrid, row, row))
+}
+
+// syncPhases diffs the slash-separated phase path against the open scope
+// stack, closing and opening scopes so nesting follows the annotation.
+func (s *ChromeSink) syncPhases(phase string, ts int64) {
+	var want []string
+	if phase != "" {
+		want = strings.Split(phase, "/")
+	}
+	common := 0
+	for common < len(want) && common < len(s.stack) && want[common] == s.stack[common] {
+		common++
+	}
+	for i := len(s.stack); i > common; i-- {
+		s.raw(fmt.Sprintf(`{"name":%s,"ph":"E","ts":%d,"pid":%d,"tid":0}`,
+			jstr(s.stack[i-1]), ts, chromePidPhases))
+	}
+	s.stack = s.stack[:common]
+	for _, name := range want[common:] {
+		s.raw(fmt.Sprintf(`{"name":%s,"ph":"B","ts":%d,"pid":%d,"tid":0}`,
+			jstr(name), ts, chromePidPhases))
+		s.stack = append(s.stack, name)
+	}
+}
+
+// Event streams one message.
+func (s *ChromeSink) Event(e *Event) {
+	if s.err != nil {
+		return
+	}
+	s.header()
+	s.rowTrack(e.From.Row)
+	s.syncPhases(e.Phase, e.Seq)
+	s.lastSeq = e.Seq
+	s.raw(fmt.Sprintf(`{"name":%s,"cat":"send","ph":"X","ts":%d,"dur":1,"pid":%d,"tid":%d,`+
+		`"args":{"seq":%d,"from":"(%d,%d)","to":"(%d,%d)","dist":%d,"value":%s,"depth":%d,"chain_dist":%d,"energy":%d}}`,
+		jstr(fmt.Sprintf("send d=%d", e.Dist)), e.Seq, chromePidGrid, e.From.Row,
+		e.Seq, e.From.Row, e.From.Col, e.To.Row, e.To.Col, e.Dist,
+		jstr(fmt.Sprint(e.Value)), e.DepthAfter, e.DistAfter, e.EnergyCum))
+	s.count++
+	if s.count%chromeCounterEvery == 1 {
+		s.raw(fmt.Sprintf(`{"name":"energy","ph":"C","ts":%d,"pid":%d,"args":{"energy":%d}}`,
+			e.Seq, chromePidPhases, e.EnergyCum))
+		s.raw(fmt.Sprintf(`{"name":"chain depth","ph":"C","ts":%d,"pid":%d,"args":{"depth":%d}}`,
+			e.Seq, chromePidPhases, e.DepthAfter))
+	}
+}
+
+// Close ends open phase scopes, terminates the JSON document and flushes.
+// A sink that saw no events still writes a valid empty trace.
+func (s *ChromeSink) Close() error {
+	s.header()
+	s.syncPhases("", s.lastSeq+1)
+	if s.err == nil {
+		_, s.err = s.bw.WriteString("\n]}\n")
+	}
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}

@@ -1,0 +1,97 @@
+package trace
+
+import "math/bits"
+
+// DistBuckets is the number of log2 buckets of the per-phase message
+// distance histogram: bucket i counts messages with distance in
+// [2^(i-1)+1, 2^i] (bucket 0 counts distance-1 messages). The last bucket
+// absorbs everything longer.
+const DistBuckets = 24
+
+// PhaseCounters aggregates the messages of one phase.
+type PhaseCounters struct {
+	// Phase is the machine Phase annotation ("" for unannotated traffic).
+	Phase string
+	// Messages and Energy are the phase's message count and summed
+	// message distance.
+	Messages, Energy int64
+	// MaxDepth/MaxDistance are the largest chain depth / chain distance
+	// reached by any message of the phase (chains may have started in
+	// earlier phases; these are the running DepthAfter/DistAfter maxima).
+	MaxDepth, MaxDistance int64
+	// FirstSeq/LastSeq delimit the phase's span of the message sequence.
+	FirstSeq, LastSeq int64
+	// DistHist is a log2 histogram of message distances: short-range
+	// neighbor traffic lands in the low buckets, long-haul routing in the
+	// high ones.
+	DistHist [DistBuckets]int64
+}
+
+func distBucket(d int64) int {
+	if d <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(d - 1)) // smallest b with 2^b >= d
+	if b >= DistBuckets {
+		return DistBuckets - 1
+	}
+	return b
+}
+
+// Counters buckets the event stream by phase, in first-seen order —
+// the phase-level summary the sweep harness and tests consume. Not safe
+// for concurrent use unless wrapped in Synchronized.
+type Counters struct {
+	order   []string
+	byPhase map[string]*PhaseCounters
+	total   PhaseCounters
+}
+
+// NewCounters returns an empty phase-bucketed counter sink.
+func NewCounters() *Counters {
+	return &Counters{byPhase: make(map[string]*PhaseCounters)}
+}
+
+// Event accumulates one message into its phase bucket and the total.
+func (c *Counters) Event(e *Event) {
+	pc := c.byPhase[e.Phase]
+	if pc == nil {
+		pc = &PhaseCounters{Phase: e.Phase, FirstSeq: e.Seq}
+		c.byPhase[e.Phase] = pc
+		c.order = append(c.order, e.Phase)
+	}
+	for _, p := range [2]*PhaseCounters{pc, &c.total} {
+		if p.Messages == 0 {
+			p.FirstSeq = e.Seq
+		}
+		p.Messages++
+		p.Energy += e.Dist
+		if e.DepthAfter > p.MaxDepth {
+			p.MaxDepth = e.DepthAfter
+		}
+		if e.DistAfter > p.MaxDistance {
+			p.MaxDistance = e.DistAfter
+		}
+		p.LastSeq = e.Seq
+		p.DistHist[distBucket(e.Dist)]++
+	}
+}
+
+// Close is a no-op; the aggregated counters stay available.
+func (c *Counters) Close() error { return nil }
+
+// Phases returns per-phase aggregates in first-seen order.
+func (c *Counters) Phases() []PhaseCounters {
+	out := make([]PhaseCounters, len(c.order))
+	for i, name := range c.order {
+		out[i] = *c.byPhase[name]
+	}
+	return out
+}
+
+// Total returns the aggregate over all phases (Phase is "").
+func (c *Counters) Total() PhaseCounters {
+	t := c.total
+	t.Phase = ""
+	return t
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// LinkDir identifies the four outgoing directed mesh links of a PE.
+type LinkDir int
+
+const (
+	LinkEast LinkDir = iota
+	LinkWest
+	LinkSouth
+	LinkNorth
+)
+
+func (d LinkDir) String() string {
+	switch d {
+	case LinkEast:
+		return "east"
+	case LinkWest:
+		return "west"
+	case LinkSouth:
+		return "south"
+	case LinkNorth:
+		return "north"
+	}
+	return fmt.Sprintf("LinkDir(%d)", int(d))
+}
+
+// HeatCell aggregates the traffic of one PE.
+type HeatCell struct {
+	// Sends/Recvs count messages originating at / delivered to the PE.
+	Sends, Recvs int64
+	// SendTraffic/RecvTraffic sum the Manhattan distances of those
+	// messages — the PE's contribution to the energy metric, split by
+	// endpoint.
+	SendTraffic, RecvTraffic int64
+	// Link counts traversals of the PE's four outgoing directed mesh
+	// links under dimension-ordered (X-then-Y) routing, indexed by
+	// LinkDir.
+	Link [4]int64
+}
+
+// Traffic is the PE's total traffic (send + receive distance sums), the
+// intensity the heatmap renderers use.
+func (c HeatCell) Traffic() int64 { return c.SendTraffic + c.RecvTraffic }
+
+// Heatmap aggregates per-PE message counts and per-link load over a run
+// (or over many runs — cells accumulate across machine Resets, which is
+// what a sweep-wide heatmap wants). Messages are routed hop by hop along
+// the dimension-ordered (X-then-Y) path a mesh NoC would use, the same
+// discipline as the machine's congestion tracker, so per-event cost is
+// O(distance). Not safe for concurrent use unless wrapped in Synchronized.
+type Heatmap struct {
+	cells   map[Coord]*HeatCell
+	maxLink int64
+	events  int64
+}
+
+// NewHeatmap returns an empty heatmap.
+func NewHeatmap() *Heatmap {
+	return &Heatmap{cells: make(map[Coord]*HeatCell)}
+}
+
+func (h *Heatmap) cell(c Coord) *HeatCell {
+	hc := h.cells[c]
+	if hc == nil {
+		hc = &HeatCell{}
+		h.cells[c] = hc
+	}
+	return hc
+}
+
+// Event accumulates one message.
+func (h *Heatmap) Event(e *Event) {
+	h.events++
+	src := h.cell(e.From)
+	src.Sends++
+	src.SendTraffic += e.Dist
+	dst := h.cell(e.To)
+	dst.Recvs++
+	dst.RecvTraffic += e.Dist
+
+	// XY walk: column-first, then row, bumping the outgoing link of every
+	// intermediate PE.
+	cur := e.From
+	bump := func(d LinkDir) {
+		l := &h.cell(cur).Link[d]
+		*l++
+		if *l > h.maxLink {
+			h.maxLink = *l
+		}
+	}
+	for cur.Col < e.To.Col {
+		bump(LinkEast)
+		cur.Col++
+	}
+	for cur.Col > e.To.Col {
+		bump(LinkWest)
+		cur.Col--
+	}
+	for cur.Row < e.To.Row {
+		bump(LinkSouth)
+		cur.Row++
+	}
+	for cur.Row > e.To.Row {
+		bump(LinkNorth)
+		cur.Row--
+	}
+}
+
+// Close is a no-op; the aggregated cells stay available.
+func (h *Heatmap) Close() error { return nil }
+
+// Events returns the number of messages aggregated.
+func (h *Heatmap) Events() int64 { return h.events }
+
+// MaxLinkLoad returns the highest traversal count over any directed link —
+// under XY routing this matches the machine's MaxCongestion.
+func (h *Heatmap) MaxLinkLoad() int64 { return h.maxLink }
+
+// Cell returns the aggregate for PE c (the zero cell if untouched).
+func (h *Heatmap) Cell(c Coord) HeatCell {
+	if hc := h.cells[c]; hc != nil {
+		return *hc
+	}
+	return HeatCell{}
+}
+
+// Bounds returns the bounding box of all touched cells; ok is false when
+// the heatmap is empty.
+func (h *Heatmap) Bounds() (min, max Coord, ok bool) {
+	for c := range h.cells {
+		if !ok {
+			min, max, ok = c, c, true
+			continue
+		}
+		if c.Row < min.Row {
+			min.Row = c.Row
+		}
+		if c.Row > max.Row {
+			max.Row = c.Row
+		}
+		if c.Col < min.Col {
+			min.Col = c.Col
+		}
+		if c.Col > max.Col {
+			max.Col = c.Col
+		}
+	}
+	return min, max, ok
+}
+
+// Grid returns the aggregates as a dense row-major grid covering the
+// bounding box, with origin its top-left coordinate. An empty heatmap
+// returns a nil grid.
+func (h *Heatmap) Grid() (origin Coord, cells [][]HeatCell) {
+	min, max, ok := h.Bounds()
+	if !ok {
+		return Coord{}, nil
+	}
+	rows := max.Row - min.Row + 1
+	cols := max.Col - min.Col + 1
+	cells = make([][]HeatCell, rows)
+	for r := range cells {
+		cells[r] = make([]HeatCell, cols)
+	}
+	for c, hc := range h.cells {
+		cells[c.Row-min.Row][c.Col-min.Col] = *hc
+	}
+	return min, cells
+}
+
+// WriteCSV emits one line per touched PE, sorted row-major, with the
+// header row,col,sends,recvs,send_traffic,recv_traffic,east,west,south,north.
+func (h *Heatmap) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "row,col,sends,recvs,send_traffic,recv_traffic,east,west,south,north"); err != nil {
+		return err
+	}
+	origin, grid := h.Grid()
+	for r, rowCells := range grid {
+		for c := range rowCells {
+			hc := &rowCells[c]
+			if *hc == (HeatCell{}) {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				origin.Row+r, origin.Col+c, hc.Sends, hc.Recvs, hc.SendTraffic, hc.RecvTraffic,
+				hc.Link[LinkEast], hc.Link[LinkWest], hc.Link[LinkSouth], hc.Link[LinkNorth]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -38,6 +38,7 @@ func (g GNN) Forward(graph GNNGraph, features [][]float64, opts ...Option) (pool
 	}
 	defer captureMemLimit(&err)
 	m := buildConfig(opts).newMachine()
+	m.Phase("gnn")
 	pooled, picked, err = gnn.Model{Layers: g.Layers, TopK: g.TopK}.Forward(m, ig, gnn.Features(features))
 	if err != nil {
 		return nil, nil, Metrics{}, err

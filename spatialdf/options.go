@@ -2,16 +2,28 @@ package spatialdf
 
 import (
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
-// Coord identifies one processing element of the simulated grid in tracer
-// callbacks. The grid is unbounded; negative coordinates are valid.
-type Coord struct {
-	Row, Col int
-}
+// Coord identifies one processing element of the simulated grid in trace
+// events. The grid is unbounded; negative coordinates are valid.
+type Coord = trace.Coord
 
-// Tracer receives a callback for every message the simulated machine sends,
-// for visualization and debugging. It must not call back into the facade.
+// Event is one traced message: who sent it, who received it, how far it
+// travelled and where it sits on the dependency chains the cost model
+// tracks. See the trace package for the field-by-field contract.
+type Event = trace.Event
+
+// TraceSink consumes the event stream of an operation's machine. The
+// built-in sinks (trace.CriticalPath, trace.Heatmap, trace.Counters,
+// trace.NewChromeSink) and combinators (trace.Multi, trace.Synchronized)
+// all satisfy it.
+type TraceSink = trace.Sink
+
+// Tracer receives a callback for every message the simulated machine sends.
+// It is the legacy callback form of WithTraceSink: the callback sees only
+// the endpoints and the payload, not the cost annotations. It must not call
+// back into the facade.
 type Tracer func(from, to Coord, v any)
 
 // Option configures the simulated machine an operation runs on. Every
@@ -22,7 +34,7 @@ type Option func(*config)
 type config struct {
 	memLimit   int
 	congestion bool
-	tracer     Tracer
+	sinks      []trace.Sink
 	seed       int64
 }
 
@@ -52,9 +64,30 @@ func WithCongestion() Option {
 	return func(c *config) { c.congestion = true }
 }
 
-// WithTracer installs a callback invoked for every message sent.
+// WithTraceSink attaches a sink to the operation's machine; it receives one
+// Event per message sent. Multiple WithTraceSink options fan out to every
+// sink in order. The operation does not close the sink — callers flush or
+// close file-backed sinks (e.g. trace.NewChromeSink) themselves after the
+// operation returns. A nil sink is ignored.
+func WithTraceSink(s TraceSink) Option {
+	return func(c *config) {
+		if s != nil {
+			c.sinks = append(c.sinks, s)
+		}
+	}
+}
+
+// WithTracer installs a callback invoked for every message sent. It is a
+// thin adapter over WithTraceSink for callers that only want endpoints and
+// payloads; new code should prefer WithTraceSink, whose events also carry
+// the distance, chain-depth and energy annotations.
 func WithTracer(t Tracer) Option {
-	return func(c *config) { c.tracer = t }
+	if t == nil {
+		return func(*config) {}
+	}
+	return WithTraceSink(trace.SinkFunc(func(e *trace.Event) {
+		t(e.From, e.To, e.Value)
+	}))
 }
 
 // WithSeed sets the seed of the pseudo-random choices of randomized
@@ -64,7 +97,9 @@ func WithSeed(seed int64) Option {
 	return func(c *config) { c.seed = seed }
 }
 
-// newMachine constructs the simulated machine an operation runs on.
+// newMachine constructs the simulated machine an operation runs on. Every
+// machine gets a critical-path recorder ahead of the caller's sinks so
+// Metrics.CriticalPath is available on demand.
 func (c config) newMachine() *machine.Machine {
 	var m *machine.Machine
 	if c.memLimit > 0 {
@@ -75,12 +110,8 @@ func (c config) newMachine() *machine.Machine {
 	if c.congestion {
 		m.EnableCongestionTracking()
 	}
-	if c.tracer != nil {
-		t := c.tracer
-		m.SetTracer(func(from, to machine.Coord, v machine.Value) {
-			t(Coord{from.Row, from.Col}, Coord{to.Row, to.Col}, v)
-		})
-	}
+	all := append([]trace.Sink{trace.NewCriticalPath()}, c.sinks...)
+	m.SetSink(trace.Multi(all...))
 	return m
 }
 

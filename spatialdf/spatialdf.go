@@ -14,9 +14,15 @@
 // Every operation accepts functional options configuring the simulated
 // machine: WithMemoryLimit (certify the O(1)-memory contract),
 // WithCongestion (per-link load tracking, reported as Metrics.MaxLinkLoad),
-// WithTracer (per-message callbacks) and WithSeed (randomized operations).
-// Operations validate their inputs and return errors — they do not panic on
-// user data.
+// WithTraceSink (structured per-message events for the sinks in the trace
+// package — heatmaps, phase counters, Chrome trace_event export),
+// WithTracer (the legacy endpoint/payload callback) and WithSeed
+// (randomized operations). Operations validate their inputs and return
+// errors — they do not panic on user data.
+//
+// Every operation also records its own event stream, so the returned
+// Metrics can reconstruct the chain of messages that realized the Depth
+// and Distance costs: see Metrics.CriticalPath.
 //
 // Inputs of arbitrary length are padded internally to the power-of-four
 // sizes the model assumes; padding never changes results.
@@ -34,6 +40,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/sortnet"
 	"repro/internal/spmv"
+	"repro/internal/trace"
 	"repro/internal/zorder"
 )
 
@@ -58,11 +65,16 @@ type Metrics struct {
 	// complement of Energy (the total load). Populated only when the
 	// operation ran WithCongestion; zero otherwise.
 	MaxLinkLoad int64
+
+	// critical is the recorder that observed the operation's event stream;
+	// CriticalPath and DistanceCriticalPath reconstruct chains from it on
+	// demand. Nil for zero-valued or Sequential-composed Metrics.
+	critical *trace.CriticalPath
 }
 
 func fromMachine(m *machine.Machine) Metrics {
 	mm := m.Metrics()
-	return Metrics{
+	met := Metrics{
 		Energy:      mm.Energy,
 		Depth:       mm.Depth,
 		Distance:    mm.Distance,
@@ -70,6 +82,44 @@ func fromMachine(m *machine.Machine) Metrics {
 		PeakMemory:  mm.PeakMemory,
 		MaxLinkLoad: m.MaxCongestion(),
 	}
+	trace.Walk(m.Sink(), func(s trace.Sink) {
+		if cp, ok := s.(*trace.CriticalPath); ok && met.critical == nil {
+			met.critical = cp
+		}
+	})
+	return met
+}
+
+// CriticalPath returns the chain of dependent messages that realizes the
+// Depth metric: len(CriticalPath()) == Depth, every event departs from the
+// PE the previous one reached, and the chain-depth annotations run 1..Depth.
+// The chain is reconstructed on demand from the operation's recorded event
+// stream. It is nil for zero-valued Metrics and for Metrics composed with
+// Sequential (the composition is hypothetical — no single run realized it).
+func (m Metrics) CriticalPath() []Event {
+	if m.critical == nil {
+		return nil
+	}
+	return m.critical.DepthPath()
+}
+
+// DistanceCriticalPath returns the chain of dependent messages that
+// realizes the Distance metric: the events' Dist fields sum to Distance.
+// Nil under the same conditions as CriticalPath.
+func (m Metrics) DistanceCriticalPath() []Event {
+	if m.critical == nil {
+		return nil
+	}
+	return m.critical.DistancePath()
+}
+
+// Equal reports whether two Metrics carry the same costs. Use it instead
+// of ==: Metrics values also hold an internal reference to the run's trace
+// recorder, which differs between runs even when every cost agrees.
+func (m Metrics) Equal(o Metrics) bool {
+	return m.Energy == o.Energy && m.Depth == o.Depth &&
+		m.Distance == o.Distance && m.Messages == o.Messages &&
+		m.PeakMemory == o.PeakMemory && m.MaxLinkLoad == o.MaxLinkLoad
 }
 
 func (m Metrics) String() string {
@@ -106,11 +156,14 @@ func (m Metrics) Sequential(next Metrics) Metrics {
 	}
 }
 
-// gridFor returns a machine (configured by cfg) and a square power-of-two
-// region large enough for n elements.
-func gridFor(n int, cfg config) (*machine.Machine, grid.Rect) {
+// gridFor returns a machine (configured by cfg, with its trace phase set to
+// the operation name) and a square power-of-two region large enough for n
+// elements.
+func gridFor(n int, cfg config, phase string) (*machine.Machine, grid.Rect) {
 	side := zorder.NextPow2(int(math.Ceil(math.Sqrt(float64(max(n, 1))))))
-	return cfg.newMachine(), grid.Square(machine.Coord{}, side)
+	m := cfg.newMachine()
+	m.Phase(phase)
+	return m, grid.Square(machine.Coord{}, side)
 }
 
 // Scan returns the inclusive prefix sums of vals using the energy-optimal
@@ -126,7 +179,7 @@ func ScanWith(op func(a, b float64) float64, identity float64, vals []float64, o
 	if len(vals) == 0 {
 		return nil, Metrics{}
 	}
-	m, r := gridFor(len(vals), buildConfig(opts))
+	m, r := gridFor(len(vals), buildConfig(opts), "scan")
 	t := grid.ZOrder(r)
 	for i := 0; i < r.Size(); i++ {
 		if i < len(vals) {
@@ -156,7 +209,7 @@ func SegmentedScan(vals []float64, heads []bool, opts ...Option) (out []float64,
 		return nil, Metrics{}, nil
 	}
 	defer captureMemLimit(&err)
-	m, r := gridFor(len(vals), buildConfig(opts))
+	m, r := gridFor(len(vals), buildConfig(opts), "segmented-scan")
 	t := grid.ZOrder(r)
 	for i := 0; i < r.Size(); i++ {
 		if i < len(vals) {
@@ -181,7 +234,7 @@ func ScanTree(vals []float64, opts ...Option) ([]float64, Metrics) {
 	if len(vals) == 0 {
 		return nil, Metrics{}
 	}
-	m, r := gridFor(len(vals), buildConfig(opts))
+	m, r := gridFor(len(vals), buildConfig(opts), "scan-tree")
 	t := grid.RowMajor(r)
 	for i := 0; i < r.Size(); i++ {
 		v := 0.0
@@ -204,7 +257,7 @@ func ScanSequential(vals []float64, opts ...Option) ([]float64, Metrics) {
 	if len(vals) == 0 {
 		return nil, Metrics{}
 	}
-	m, r := gridFor(len(vals), buildConfig(opts))
+	m, r := gridFor(len(vals), buildConfig(opts), "scan-seq")
 	t := grid.ZOrder(r)
 	for i := 0; i < r.Size(); i++ {
 		v := 0.0
@@ -227,7 +280,7 @@ func Reduce(vals []float64, opts ...Option) (float64, Metrics) {
 	if len(vals) == 0 {
 		return 0, Metrics{}
 	}
-	m, r := gridFor(len(vals), buildConfig(opts))
+	m, r := gridFor(len(vals), buildConfig(opts), "reduce")
 	t := grid.RowMajor(r)
 	for i := 0; i < r.Size(); i++ {
 		v := 0.0
@@ -243,7 +296,7 @@ func Reduce(vals []float64, opts ...Option) (float64, Metrics) {
 // BroadcastCost reports the model cost of broadcasting one value to n
 // processors without multicasting (Lemma IV.1).
 func BroadcastCost(n int, opts ...Option) Metrics {
-	m, r := gridFor(n, buildConfig(opts))
+	m, r := gridFor(n, buildConfig(opts), "broadcast")
 	m.Set(r.Origin, "v", 1.0)
 	collectives.Broadcast(m, r, "v")
 	return fromMachine(m)
@@ -253,7 +306,7 @@ func BroadcastCost(n int, opts ...Option) Metrics {
 // mergesort (Theorem V.8: Theta(n^{3/2}) energy — matching the permutation
 // lower bound — O(log^3 n) depth, Theta(sqrt n) distance).
 func Sort(vals []float64, opts ...Option) ([]float64, Metrics) {
-	return sortPadded(vals, opts, func(m *machine.Machine, r grid.Rect) {
+	return sortPadded(vals, opts, "sort/merge", func(m *machine.Machine, r grid.Rect) {
 		core.MergeSort(m, r, "v", order.Float64)
 	})
 }
@@ -261,7 +314,7 @@ func Sort(vals []float64, opts ...Option) ([]float64, Metrics) {
 // SortBitonic sorts with the bitonic network on a row-major layout — the
 // Theta(n^{3/2} log n)-energy baseline of Lemma V.4.
 func SortBitonic(vals []float64, opts ...Option) ([]float64, Metrics) {
-	return sortPadded(vals, opts, func(m *machine.Machine, r grid.Rect) {
+	return sortPadded(vals, opts, "sort/bitonic", func(m *machine.Machine, r grid.Rect) {
 		sortnet.Sort(m, grid.RowMajor(r), "v", r.Size(), order.Float64)
 	})
 }
@@ -269,16 +322,16 @@ func SortBitonic(vals []float64, opts ...Option) ([]float64, Metrics) {
 // SortMesh sorts with shearsort, a classic mesh-connected-computer
 // algorithm with polynomial Theta(sqrt n log n) depth (Section II-B).
 func SortMesh(vals []float64, opts ...Option) ([]float64, Metrics) {
-	return sortPadded(vals, opts, func(m *machine.Machine, r grid.Rect) {
+	return sortPadded(vals, opts, "sort/shearsort", func(m *machine.Machine, r grid.Rect) {
 		sortnet.Shearsort(m, r, "v", order.Float64)
 	})
 }
 
-func sortPadded(vals []float64, opts []Option, run func(*machine.Machine, grid.Rect)) ([]float64, Metrics) {
+func sortPadded(vals []float64, opts []Option, phase string, run func(*machine.Machine, grid.Rect)) ([]float64, Metrics) {
 	if len(vals) == 0 {
 		return nil, Metrics{}
 	}
-	m, r := gridFor(len(vals), buildConfig(opts))
+	m, r := gridFor(len(vals), buildConfig(opts), phase)
 	t := grid.RowMajor(r)
 	for i := 0; i < r.Size(); i++ {
 		v := math.Inf(1)
@@ -308,7 +361,7 @@ func SortIndices(vals []float64, opts ...Option) ([]int, Metrics) {
 		v float64
 		i int
 	}
-	m, r := gridFor(len(vals), buildConfig(opts))
+	m, r := gridFor(len(vals), buildConfig(opts), "sort/indices")
 	t := grid.RowMajor(r)
 	for i := 0; i < r.Size(); i++ {
 		e := kv{v: math.Inf(1), i: i}
@@ -342,7 +395,7 @@ func Select(vals []float64, k int, opts ...Option) (got float64, met Metrics, er
 	}
 	defer captureMemLimit(&err)
 	cfg := buildConfig(opts)
-	m, r := gridFor(len(vals), cfg)
+	m, r := gridFor(len(vals), cfg, "select")
 	t := grid.RowMajor(r)
 	for i := 0; i < r.Size(); i++ {
 		v := math.Inf(1)
@@ -383,7 +436,7 @@ func Permute(vals []float64, perm []int, opts ...Option) (out []float64, met Met
 		return nil, Metrics{}, nil
 	}
 	defer captureMemLimit(&err)
-	m, r := gridFor(len(vals), buildConfig(opts))
+	m, r := gridFor(len(vals), buildConfig(opts), "permute")
 	t := grid.Slice(grid.RowMajor(r), 0, len(vals))
 	for i, v := range vals {
 		m.Set(t.At(i), "v", v)
@@ -430,6 +483,7 @@ func (a Matrix) MultiplyDense(x []float64) []float64 {
 func SpMV(a Matrix, x []float64, opts ...Option) (y []float64, met Metrics, err error) {
 	defer captureMemLimit(&err)
 	m := buildConfig(opts).newMachine()
+	m.Phase("spmv")
 	y, err = spmv.Multiply(m, a.internal(), x)
 	if err != nil {
 		return nil, Metrics{}, err
@@ -443,6 +497,7 @@ func SpMV(a Matrix, x []float64, opts ...Option) (y []float64, met Metrics, err 
 func SpMVPRAM(a Matrix, x []float64, opts ...Option) (y []float64, met Metrics, err error) {
 	defer captureMemLimit(&err)
 	m := buildConfig(opts).newMachine()
+	m.Phase("spmv-pram")
 	y, err = spmv.MultiplyPRAM(m, a.internal(), x)
 	if err != nil {
 		return nil, Metrics{}, err

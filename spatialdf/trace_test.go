@@ -1,0 +1,204 @@
+package spatialdf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// checkPaths asserts the critical-path contract of a Metrics value: the
+// depth path has exactly Depth hops forming a connected chain with
+// telescoping depth annotations, and the distance path's hop distances sum
+// to Distance.
+func checkPaths(t *testing.T, met Metrics) {
+	t.Helper()
+	cp := met.CriticalPath()
+	if int64(len(cp)) != met.Depth {
+		t.Fatalf("CriticalPath length %d, Depth %d", len(cp), met.Depth)
+	}
+	for i, e := range cp {
+		if e.DepthBefore != int64(i) || e.DepthAfter != int64(i+1) {
+			t.Fatalf("hop %d: depth %d -> %d, want %d -> %d", i, e.DepthBefore, e.DepthAfter, i, i+1)
+		}
+		if i > 0 && e.From != cp[i-1].To {
+			t.Fatalf("hop %d departs %v, previous arrived %v", i, e.From, cp[i-1].To)
+		}
+	}
+	dp := met.DistanceCriticalPath()
+	var sum int64
+	for i, e := range dp {
+		sum += e.Dist
+		if e.DistAfter-e.DistBefore != e.Dist {
+			t.Fatalf("distance hop %d: %d -> %d with dist %d", i, e.DistBefore, e.DistAfter, e.Dist)
+		}
+		if i > 0 && e.From != dp[i-1].To {
+			t.Fatalf("distance hop %d departs %v, previous arrived %v", i, e.From, dp[i-1].To)
+		}
+	}
+	if sum != met.Distance {
+		t.Fatalf("DistanceCriticalPath sums to %d, Distance %d", sum, met.Distance)
+	}
+}
+
+func randVals(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	return vals
+}
+
+// TestCriticalPathPerOp exercises the critical-path contract on every
+// facade operation.
+func TestCriticalPathPerOp(t *testing.T) {
+	vals := randVals(50, 3)
+	t.Run("Sort", func(t *testing.T) {
+		_, met := Sort(vals)
+		checkPaths(t, met)
+	})
+	t.Run("SortBitonic", func(t *testing.T) {
+		_, met := SortBitonic(vals)
+		checkPaths(t, met)
+	})
+	t.Run("SortMesh", func(t *testing.T) {
+		_, met := SortMesh(vals)
+		checkPaths(t, met)
+	})
+	t.Run("SortIndices", func(t *testing.T) {
+		_, met := SortIndices(vals)
+		checkPaths(t, met)
+	})
+	t.Run("Select", func(t *testing.T) {
+		_, met, err := Select(vals, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPaths(t, met)
+	})
+	t.Run("Median", func(t *testing.T) {
+		_, met, err := Median(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPaths(t, met)
+	})
+	t.Run("Permute", func(t *testing.T) {
+		perm := rand.New(rand.NewSource(4)).Perm(len(vals))
+		_, met, err := Permute(vals, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPaths(t, met)
+	})
+	t.Run("SegmentedScan", func(t *testing.T) {
+		heads := make([]bool, len(vals))
+		for i := range heads {
+			heads[i] = i%7 == 0
+		}
+		_, met, err := SegmentedScan(vals, heads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPaths(t, met)
+	})
+	t.Run("Scan", func(t *testing.T) {
+		_, met := Scan(vals)
+		checkPaths(t, met)
+	})
+	t.Run("ScanTree", func(t *testing.T) {
+		_, met := ScanTree(vals)
+		checkPaths(t, met)
+	})
+	t.Run("ScanSequential", func(t *testing.T) {
+		_, met := ScanSequential(vals)
+		checkPaths(t, met)
+	})
+	t.Run("Reduce", func(t *testing.T) {
+		_, met := Reduce(vals)
+		checkPaths(t, met)
+	})
+	t.Run("BroadcastCost", func(t *testing.T) {
+		checkPaths(t, BroadcastCost(30))
+	})
+	t.Run("SpMV", func(t *testing.T) {
+		a := Matrix{N: 8, Entries: []MatrixEntry{{0, 1, 1}, {3, 2, -2}, {5, 5, 4}, {7, 0, 0.5}, {2, 6, 3}}}
+		_, met, err := SpMV(a, randVals(8, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPaths(t, met)
+	})
+	t.Run("RootfixSum", func(t *testing.T) {
+		tr := Tree{Parent: []int{0, 0, 0, 1, 1, 2}}
+		_, met, err := tr.RootfixSum(randVals(6, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPaths(t, met)
+	})
+}
+
+// TestCriticalPathAbsent covers the cases where no path exists: zero-valued
+// Metrics and Sequential compositions.
+func TestCriticalPathAbsent(t *testing.T) {
+	var zero Metrics
+	if zero.CriticalPath() != nil || zero.DistanceCriticalPath() != nil {
+		t.Errorf("zero Metrics returned a critical path")
+	}
+	_, a := Scan(randVals(10, 1))
+	_, b := Scan(randVals(10, 2))
+	if got := a.Sequential(b).CriticalPath(); got != nil {
+		t.Errorf("Sequential composition returned a critical path of %d hops", len(got))
+	}
+}
+
+// TestWithTraceSinkEvents checks the structured event stream: one event per
+// message, the operation's phase stamped on every event, and cumulative
+// energy matching the metric.
+func TestWithTraceSinkEvents(t *testing.T) {
+	var events []Event
+	_, met := Sort(randVals(20, 9), WithTraceSink(trace.SinkFunc(func(e *Event) {
+		events = append(events, *e)
+	})))
+	if int64(len(events)) != met.Messages {
+		t.Fatalf("sink saw %d events, metrics report %d messages", len(events), met.Messages)
+	}
+	last := events[len(events)-1]
+	if last.EnergyCum != met.Energy {
+		t.Errorf("final event energy %d, metric %d", last.EnergyCum, met.Energy)
+	}
+	for _, e := range events {
+		if e.Phase != "sort/merge" {
+			t.Fatalf("event carries phase %q, want %q", e.Phase, "sort/merge")
+		}
+	}
+}
+
+// TestWithTraceSinkHeatmap runs a built-in sink through the facade and
+// cross-checks its totals against the returned metrics.
+func TestWithTraceSinkHeatmap(t *testing.T) {
+	hm := trace.NewHeatmap()
+	_, met, err := SegmentedScan(randVals(30, 11), make([]bool, 30), WithTraceSink(hm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.Events() != met.Messages {
+		t.Errorf("heatmap observed %d events, metrics report %d messages", hm.Events(), met.Messages)
+	}
+	var sends, traffic int64
+	_, cells := hm.Grid()
+	for _, row := range cells {
+		for _, c := range row {
+			sends += c.Sends
+			traffic += c.SendTraffic
+		}
+	}
+	if sends != met.Messages {
+		t.Errorf("heatmap counted %d sends, metrics report %d messages", sends, met.Messages)
+	}
+	if traffic != met.Energy {
+		t.Errorf("heatmap counted %d send traffic, metrics report energy %d", traffic, met.Energy)
+	}
+}

@@ -18,6 +18,7 @@ type Tree struct {
 func (t Tree) RootfixSum(values []float64, opts ...Option) (out []float64, met Metrics, err error) {
 	defer captureMemLimit(&err)
 	m := buildConfig(opts).newMachine()
+	m.Phase("rootfix")
 	out, err = tree.RootfixSum(m, tree.Tree{Parent: t.Parent}, values)
 	if err != nil {
 		return nil, Metrics{}, err
@@ -30,6 +31,7 @@ func (t Tree) RootfixSum(values []float64, opts ...Option) (out []float64, met M
 func (t Tree) LeaffixSum(values []float64, opts ...Option) (out []float64, met Metrics, err error) {
 	defer captureMemLimit(&err)
 	m := buildConfig(opts).newMachine()
+	m.Phase("leaffix")
 	out, err = tree.LeaffixSum(m, tree.Tree{Parent: t.Parent}, values)
 	if err != nil {
 		return nil, Metrics{}, err
