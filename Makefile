@@ -1,17 +1,46 @@
 GO ?= go
 
-.PHONY: check bench test bench-compare trace-smoke
+.PHONY: check bench test bench-compare trace-smoke conformance experiments-refresh staticcheck
 
-# check is the full gate: build, vet, the race-enabled test suite and the
-# trace-artifact smoke test.
+# check is the full gate: build, vet, staticcheck, the race-enabled test
+# suite, the trace-artifact smoke test and the quick conformance run.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(MAKE) staticcheck
 	$(GO) test -race ./...
 	$(MAKE) trace-smoke
+	$(MAKE) conformance QUICK=1
 
 test:
 	$(GO) test ./...
+
+# staticcheck runs the pinned honnef.co/go/tools linter. The tool is not
+# vendored, so offline machines (no module proxy) skip it with a warning
+# instead of failing `make check`; CI always has network and runs it for
+# real. Pin bumps go here and in .github/workflows/ci.yml together.
+STATICCHECK_VERSION ?= 2025.1.1
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	elif $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./... ; \
+	else \
+		echo "staticcheck: tool unavailable (offline?); skipping" >&2 ; \
+	fi
+
+# conformance machine-checks every registered Θ/O claim against fresh
+# sweeps (internal/bounds); non-zero exit means a bound no longer holds.
+# QUICK=1 runs the smaller sweeps (~10 s, the CI gate); the default full
+# sweeps take ~1 min. JSON=1 emits structured verdicts on stdout.
+conformance:
+	$(GO) run ./cmd/boundcheck $(if $(QUICK),-quick,-full) $(if $(JSON),-json)
+
+# experiments-refresh regenerates the conformance verdict table used in
+# EXPERIMENTS.md (full sweeps, JSON verdicts). Paste/update the verdict
+# columns from this output when re-recording results.
+experiments-refresh:
+	$(GO) run ./cmd/boundcheck -full -json
 
 # bench reruns the simulator micro-benchmarks plus the end-to-end Table I
 # sort and rewrites BENCH_machine.json. The recorded seed_baseline object
@@ -34,12 +63,13 @@ bench-compare:
 
 # trace-smoke runs one quick experiment with tracing and heatmap output on
 # and validates the trace_event JSON with cmd/tracecheck (-parallel 1 keeps
-# the phase scopes of the single worker readable).
-TRACE_TMP := $(shell mktemp -d)
+# the phase scopes of the single worker readable). The temp dir is created
+# inside the recipe — a `:=` $(shell mktemp -d) would leak a directory on
+# every make invocation, even `make help` — and removed on any exit.
 trace-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) run ./cmd/spatialbench -exp scan-ablation -quick -parallel 1 \
-		-trace $(TRACE_TMP)/trace.json -heatmap $(TRACE_TMP)/heat.csv > /dev/null
-	$(GO) run ./cmd/tracecheck $(TRACE_TMP)/trace.json
-	@head -1 $(TRACE_TMP)/heat.csv | grep -q '^row,col,sends' \
+		-trace $$tmp/trace.json -heatmap $$tmp/heat.csv > /dev/null; \
+	$(GO) run ./cmd/tracecheck $$tmp/trace.json; \
+	head -1 $$tmp/heat.csv | grep -q '^row,col,sends' \
 		|| { echo "trace-smoke: bad heatmap header" >&2; exit 1; }
-	@rm -rf $(TRACE_TMP)

@@ -1,0 +1,167 @@
+// Command boundcheck machine-checks the paper's Θ/O bounds against fresh
+// measurements: it replays the registered bound sweeps on the simulator,
+// fits the results, and evaluates every claim in the internal/bounds
+// registry. The exit code is the conformance verdict — 0 when every claim
+// holds, 1 when any fails — which is what `make conformance` and CI gate
+// on.
+//
+// Usage:
+//
+//	boundcheck -quick          # smaller sweeps (~seconds; the CI gate)
+//	boundcheck                 # full sweeps (minutes; nightly / release)
+//	boundcheck -json           # structured verdicts on stdout
+//	boundcheck -run table1/    # only claims whose ID has this prefix
+//	boundcheck -list           # list registered claims and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/bounds"
+	"repro/internal/experiments"
+	"repro/internal/harness"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, mainProvider))
+}
+
+// provider yields the sweep registry and claim set for a run; tests inject
+// synthetic ones to exercise failure paths without minutes of simulation.
+type provider func(quick bool) (*harness.Registry, []bounds.Claim)
+
+func mainProvider(quick bool) (*harness.Registry, []bounds.Claim) {
+	return experiments.BoundSweeps(quick), bounds.Registry()
+}
+
+func run(args []string, stdout, stderr io.Writer, prov provider) int {
+	fs := flag.NewFlagSet("boundcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		quick     = fs.Bool("quick", false, "smaller sweeps (seconds instead of minutes)")
+		full      = fs.Bool("full", false, "full sweeps (the default; flag exists for symmetry)")
+		jsonOut   = fs.Bool("json", false, "emit the verdicts as JSON")
+		list      = fs.Bool("list", false, "list registered claims and exit")
+		runFilter = fs.String("run", "", "only evaluate claims whose ID starts with this prefix")
+		seed      = fs.Int64("seed", 1, "random seed for workload generation")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweep points")
+		maxPoints = fs.Int("maxpoints", 0, "cap every sweep at its first k points (0 = no cap)")
+		progress  = fs.Bool("progress", false, "report per-point completion on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *quick && *full {
+		fmt.Fprintln(stderr, "boundcheck: -quick and -full are mutually exclusive")
+		return 2
+	}
+
+	reg, claims := prov(*quick)
+	if *runFilter != "" {
+		var kept []bounds.Claim
+		for _, c := range claims {
+			if strings.HasPrefix(c.ID, *runFilter) {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			fmt.Fprintf(stderr, "boundcheck: no claims match -run %q\n", *runFilter)
+			return 2
+		}
+		claims = kept
+	}
+
+	if *list {
+		t := analysis.NewTable("id", "source", "kind", "stated", "sweep")
+		for _, c := range claims {
+			t.AddRow(c.ID, c.Source, string(c.Kind), c.Stated, c.Sweep)
+		}
+		fmt.Fprint(stdout, t.String())
+		return 0
+	}
+
+	opts := []harness.Option{harness.WithWorkers(*parallel)}
+	if *progress {
+		opts = append(opts, harness.WithProgress(func(done, total int) {
+			fmt.Fprintf(stderr, "\r%d/%d points", done, total)
+			if done == total {
+				fmt.Fprintln(stderr)
+			}
+		}))
+	}
+
+	rep, err := bounds.Check(harness.New(*seed, opts...), reg, claims, bounds.Options{MaxPoints: *maxPoints})
+	if err != nil {
+		fmt.Fprintf(stderr, "boundcheck: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		if err := writeJSON(stdout, rep, *quick, *seed); err != nil {
+			fmt.Fprintf(stderr, "boundcheck: %v\n", err)
+			return 2
+		}
+	} else {
+		writeTable(stdout, rep)
+	}
+	if !rep.Passed() {
+		return 1
+	}
+	return 0
+}
+
+func writeTable(w io.Writer, rep bounds.Report) {
+	t := analysis.NewTable("claim", "source", "stated", "verdict", "detail")
+	for _, v := range rep.Verdicts {
+		verdict := "PASS"
+		if !v.Pass {
+			verdict = "FAIL"
+		}
+		t.AddRow(v.ID, v.Source, v.Stated, verdict, v.Detail)
+	}
+	fmt.Fprint(w, t.String())
+	fmt.Fprintf(w, "\n%d/%d claims hold\n", len(rep.Verdicts)-rep.Failures(), len(rep.Verdicts))
+}
+
+// jsonVerdict fixes the float formatting (%.4g strings) so the output is
+// byte-deterministic for a given seed — NaN-safe and golden-testable.
+type jsonVerdict struct {
+	bounds.Verdict
+	Measured string `json:"measured"`
+	R2       string `json:"r2,omitempty"`
+}
+
+func fmtMeasure(f float64) string {
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	return fmt.Sprintf("%.4g", f)
+}
+
+func writeJSON(w io.Writer, rep bounds.Report, quick bool, seed int64) error {
+	doc := struct {
+		Quick    bool          `json:"quick"`
+		Seed     int64         `json:"seed"`
+		Claims   int           `json:"claims"`
+		Failures int           `json:"failures"`
+		Verdicts []jsonVerdict `json:"verdicts"`
+	}{Quick: quick, Seed: seed, Claims: len(rep.Verdicts), Failures: rep.Failures()}
+	for _, v := range rep.Verdicts {
+		jv := jsonVerdict{Verdict: v, Measured: fmtMeasure(v.Measured)}
+		if !math.IsNaN(v.R2) {
+			jv.R2 = fmtMeasure(v.R2)
+		}
+		doc.Verdicts = append(doc.Verdicts, jv)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/harness"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// synthProvider returns closed-form sweeps and claims so exit codes are
+// testable without simulation: one claim that holds and one that cannot.
+func synthProvider(pass bool) provider {
+	return func(quick bool) (*harness.Registry, []bounds.Claim) {
+		reg := &harness.Registry{}
+		reg.MustRegister(harness.SweepSpec{Name: "syn/quadratic", Points: 4,
+			Point: func(i int, env *harness.Env) []harness.Row {
+				n := float64(int(256) << uint(2*i))
+				return harness.One(n, n*n)
+			}})
+		want := 2.0 // the sweep's true exponent
+		if !pass {
+			want = 1.0 // a Θ(n) claim against n² data: must fail
+		}
+		return reg, []bounds.Claim{{
+			ID: "syn/exponent", Source: "test", Stated: "synthetic",
+			Kind: bounds.Exponent, Sweep: "syn/quadratic", Col: 1, Want: want, Tol: 0.1,
+		}}
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		prov provider
+		want int
+	}{
+		{"all claims hold", []string{"-quick"}, synthProvider(true), 0},
+		{"out-of-tolerance exponent", []string{"-quick"}, synthProvider(false), 1},
+		{"failure in json mode", []string{"-quick", "-json"}, synthProvider(false), 1},
+		{"quick and full conflict", []string{"-quick", "-full"}, synthProvider(true), 2},
+		{"unknown flag", []string{"-bogus"}, synthProvider(true), 2},
+		{"no claims match -run", []string{"-run", "nope/"}, synthProvider(true), 2},
+		{"list is not a run", []string{"-list"}, synthProvider(false), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if got := run(tc.args, &out, &errOut, tc.prov); got != tc.want {
+				t.Errorf("exit = %d, want %d (stderr: %s)", got, tc.want, errOut.String())
+			}
+		})
+	}
+}
+
+func TestFailureVerdictInOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if got := run([]string{"-quick"}, &out, &errOut, synthProvider(false)); got != 1 {
+		t.Fatalf("exit = %d, want 1", got)
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "0/1 claims hold") {
+		t.Errorf("table output missing failure verdict:\n%s", out.String())
+	}
+}
+
+// TestGoldenJSON pins the machine-readable output format: boundcheck -json
+// over the quick scan sweep at seed 1 is byte-deterministic (floats are
+// rounded %.4g strings), so docs generators and CI consumers can rely on
+// it. Regenerate with `go test ./cmd/boundcheck -run Golden -update`.
+func TestGoldenJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick scan sweep")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-quick", "-json", "-run", "table1/scan"}, &out, &errOut, mainProvider)
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", code, errOut.String())
+	}
+	golden := filepath.Join("testdata", "scan_quick.json")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("JSON output drifted from %s (rerun with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			golden, out.Bytes(), want)
+	}
+}

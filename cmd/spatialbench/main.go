@@ -30,40 +30,10 @@ import (
 	"runtime/pprof"
 	"sort"
 
+	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/trace"
 )
-
-type config struct {
-	quick bool
-	csv   bool
-	json  bool
-	out   io.Writer
-	h     *harness.Runner
-}
-
-type experiment struct {
-	name     string
-	artifact string // the paper artifact it reproduces
-	desc     string
-	run      func(cfg config)
-}
-
-var experiments = []experiment{
-	{"table1", "Table I", "energy/depth/distance scaling of scan, sort, selection, SpMV", runTable1},
-	{"collectives", "Lemma IV.1, Cor. IV.2", "broadcast and reduce bounds on h x w subgrids", runCollectives},
-	{"scan-ablation", "Fig. 1 / Sec. IV-C", "Z-order scan vs binary-tree scan vs sequential scan", runScanAblation},
-	{"reduce-ablation", "Sec. IV-B", "multicast-free reduce vs binary-tree reduce (log-factor energy win)", runReduceAblation},
-	{"sort-ablation", "Fig. 2, Lemmas V.3-V.4, Thm V.8", "2-D mergesort vs bitonic network vs mesh shearsort", runSortAblation},
-	{"components", "Lemmas V.5-V.7", "all-pairs sort, rank selection in sorted arrays, 2-D merge bounds", runComponents},
-	{"lowerbound", "Lemma V.1, Cor. V.2", "permutation energy lower bound and sorting optimality", runLowerBound},
-	{"selection", "Thm VI.3", "randomized selection: linear energy, polylog depth, vs sorting", runSelection},
-	{"pram", "Lemmas VII.1-VII.2", "EREW and CRCW simulation per-step costs", runPRAM},
-	{"spmv-ablation", "Thm VIII.2 / Sec. VIII", "direct SpMV vs PRAM-simulated SpMV across matrix families", runSpMVAblation},
-	{"treefix", "Sec. II-A vs [38]", "Euler-tour treefix sums at Theta(n) energy vs the tree-scan baseline", runTreefix},
-	{"depth-scaling", "Table I depth column", "fitted polylog degrees of depth for all four primitives", runDepthScaling},
-	{"congestion", "extension", "max per-link load (XY routing) of scans, sorts and broadcast", runCongestion},
-}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -93,10 +63,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	exps := experiments.All()
+
 	if *list {
-		names := make([]string, len(experiments))
-		for i, e := range experiments {
-			names[i] = fmt.Sprintf("  %-16s %-28s %s", e.name, e.artifact, e.desc)
+		names := make([]string, len(exps))
+		for i, e := range exps {
+			names[i] = fmt.Sprintf("  %-16s %-28s %s", e.Name, e.Artifact, e.Desc)
 		}
 		sort.Strings(names)
 		fmt.Fprintln(stdout, "experiments:")
@@ -107,14 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *expName != "all" {
-		known := false
-		for _, e := range experiments {
-			if e.name == *expName {
-				known = true
-				break
-			}
-		}
-		if !known {
+		if _, known := experiments.ByName(*expName); !known {
 			fmt.Fprintf(stderr, "unknown experiment %q (use -list)\n", *expName)
 			return 2
 		}
@@ -185,17 +150,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts = append(opts, harness.WithSink(trace.Synchronized(trace.Multi(sinks...))))
 	}
 
-	cfg := config{
-		quick: *quick,
-		csv:   *csv,
-		json:  *jsonOut,
-		out:   stdout,
-		h:     harness.New(*seed, opts...),
+	cfg := experiments.Config{
+		Quick: *quick,
+		CSV:   *csv,
+		JSON:  *jsonOut,
+		Out:   stdout,
+		H:     harness.New(*seed, opts...),
 	}
-	for _, e := range experiments {
-		if *expName == "all" || *expName == e.name {
-			fmt.Fprintf(stdout, "=== %s — %s ===\n%s\n\n", e.name, e.artifact, e.desc)
-			e.run(cfg)
+	for _, e := range exps {
+		if *expName == "all" || *expName == e.Name {
+			fmt.Fprintf(stdout, "=== %s — %s ===\n%s\n\n", e.Name, e.Artifact, e.Desc)
+			e.Run(cfg)
 			fmt.Fprintln(stdout)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/experiments"
 	"repro/internal/harness"
 )
 
@@ -19,11 +20,11 @@ func runCLI(t *testing.T, args ...string) (string, string, int) {
 }
 
 // testConfig builds a config for driving one experiment directly.
-func testConfig(workers int, opts ...func(*config)) config {
-	cfg := config{
-		quick: true,
-		out:   io.Discard,
-		h:     harness.New(1, harness.WithWorkers(workers)),
+func testConfig(workers int, opts ...func(*experiments.Config)) experiments.Config {
+	cfg := experiments.Config{
+		Quick: true,
+		Out:   io.Discard,
+		H:     harness.New(1, harness.WithWorkers(workers)),
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -31,26 +32,36 @@ func testConfig(workers int, opts ...func(*config)) config {
 	return cfg
 }
 
+// runByName drives one experiment end to end through the shared registry.
+func runByName(t *testing.T, name string, cfg experiments.Config) {
+	t.Helper()
+	e, ok := experiments.ByName(name)
+	if !ok {
+		t.Fatalf("experiment %q not registered", name)
+	}
+	e.Run(cfg)
+}
+
 // Smoke tests: the cheap experiments must run to completion without
 // panicking (correctness of the numbers is covered by the package tests the
 // experiments are built from).
 func TestCollectivesExperimentSmoke(t *testing.T) {
-	runCollectives(testConfig(2))
+	runByName(t, "collectives", testConfig(2))
 }
 
 func TestReduceAblationSmoke(t *testing.T) {
-	runReduceAblation(testConfig(2, func(c *config) { c.csv = true }))
+	runByName(t, "reduce-ablation", testConfig(2, func(c *experiments.Config) { c.CSV = true }))
 }
 
 func TestScanAblationSmoke(t *testing.T) {
-	runScanAblation(testConfig(2))
+	runByName(t, "scan-ablation", testConfig(2))
 }
 
 func TestTreefixExperimentSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("treefix sweep skipped in -short mode")
 	}
-	runTreefix(testConfig(2))
+	runByName(t, "treefix", testConfig(2))
 }
 
 func TestUnknownExperimentExitCode(t *testing.T) {
@@ -77,9 +88,9 @@ func TestListExperiments(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d", code)
 	}
-	for _, e := range experiments {
-		if !strings.Contains(out, e.name) {
-			t.Errorf("-list output missing %q", e.name)
+	for _, e := range experiments.All() {
+		if !strings.Contains(out, e.Name) {
+			t.Errorf("-list output missing %q", e.Name)
 		}
 	}
 }
@@ -133,10 +144,10 @@ func TestAllExperimentsCriticalPath(t *testing.T) {
 	if raceEnabled {
 		t.Skip("full experiment sweep skipped under the race detector (sink concurrency is covered by the harness tests)")
 	}
-	for _, e := range experiments {
-		t.Run(e.name, func(t *testing.T) {
-			e.run(testConfig(4, func(c *config) {
-				c.h = harness.New(1, harness.WithWorkers(4), harness.WithCriticalPathCheck())
+	for _, e := range experiments.All() {
+		t.Run(e.Name, func(t *testing.T) {
+			e.Run(testConfig(4, func(c *experiments.Config) {
+				c.H = harness.New(1, harness.WithWorkers(4), harness.WithCriticalPathCheck())
 			}))
 		})
 	}

@@ -21,29 +21,7 @@ type Point struct {
 // i.e. the empirical scaling exponent of the measurements. It requires at
 // least two points with positive coordinates.
 func FitExponent(pts []Point) float64 {
-	var xs, ys []float64
-	for _, p := range pts {
-		if p.N > 0 && p.Cost > 0 {
-			xs = append(xs, math.Log(p.N))
-			ys = append(ys, math.Log(p.Cost))
-		}
-	}
-	if len(xs) < 2 {
-		return math.NaN()
-	}
-	n := float64(len(xs))
-	var sx, sy, sxx, sxy float64
-	for i := range xs {
-		sx += xs[i]
-		sy += ys[i]
-		sxx += xs[i] * xs[i]
-		sxy += xs[i] * ys[i]
-	}
-	den := n*sxx - sx*sx
-	if den == 0 {
-		return math.NaN()
-	}
-	return (n*sxy - sx*sy) / den
+	return FitPowerLaw(pts).Exponent
 }
 
 // FitLogExponent returns the least-squares slope c of

@@ -1,0 +1,204 @@
+package analysis
+
+import "math"
+
+// Fit is a least-squares power-law fit on log-log data with its quality
+// statistics: cost ≈ exp(Intercept) * n^Exponent over the Points used.
+type Fit struct {
+	Exponent  float64 // slope of log(cost) vs log(n)
+	Intercept float64 // intercept of the same line (natural log)
+	R2        float64 // coefficient of determination on the log-log data
+	Points    int     // points with positive coordinates that entered the fit
+}
+
+// Valid reports whether the fit had enough usable points.
+func (f Fit) Valid() bool { return f.Points >= 2 && !math.IsNaN(f.Exponent) }
+
+// Eval returns the fitted cost at size n.
+func (f Fit) Eval(n float64) float64 {
+	return math.Exp(f.Intercept) * math.Pow(n, f.Exponent)
+}
+
+// FitPowerLaw is FitExponent with the full regression statistics: intercept
+// and R² alongside the slope. Points with non-positive N or Cost are
+// dropped (log is undefined there); fewer than two usable points yields
+// NaN fields with Points reflecting how many survived. A perfectly flat
+// cost series is a valid fit with slope 0 and R² = 1 (the line explains
+// everything there is to explain).
+func FitPowerLaw(pts []Point) Fit {
+	var xs, ys []float64
+	for _, p := range pts {
+		if p.N > 0 && p.Cost > 0 {
+			xs = append(xs, math.Log(p.N))
+			ys = append(ys, math.Log(p.Cost))
+		}
+	}
+	f := Fit{Exponent: math.NaN(), Intercept: math.NaN(), R2: math.NaN(), Points: len(xs)}
+	if len(xs) < 2 {
+		return f
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return f
+	}
+	f.Exponent = (n*sxy - sx*sy) / den
+	f.Intercept = (sy - f.Exponent*sx) / n
+	var ssRes, ssTot float64
+	my := sy / n
+	for i := range xs {
+		r := ys[i] - (f.Intercept + f.Exponent*xs[i])
+		ssRes += r * r
+		d := ys[i] - my
+		ssTot += d * d
+	}
+	// A (numerically) constant series has no variance to explain; the flat
+	// line fits it perfectly. Compare against rounding dust, not exact zero.
+	if eps := 1e-12 * (1 + my*my) * n; ssTot <= eps {
+		f.R2 = 1
+	} else {
+		f.R2 = 1 - ssRes/ssTot
+	}
+	return f
+}
+
+// TailExponent is the scaling exponent between the last two points of the
+// sweep. Metrics with large additive lower-order terms (the paper's
+// distance bounds contribute O(√n) per recursion level) converge slowly;
+// the tail slope is the honest estimator for them.
+func TailExponent(pts []Point) float64 {
+	var usable []Point
+	for _, p := range pts {
+		if p.N > 0 && p.Cost > 0 {
+			usable = append(usable, p)
+		}
+	}
+	if len(usable) < 2 {
+		return math.NaN()
+	}
+	a, b := usable[len(usable)-2], usable[len(usable)-1]
+	if a.N == b.N {
+		return math.NaN()
+	}
+	return math.Log(b.Cost/a.Cost) / math.Log(b.N/a.N)
+}
+
+// LocalExponents returns the point-to-point scaling exponents
+// log(c_{i+1}/c_i) / log(n_{i+1}/n_i) of consecutive usable points — the
+// series whose *trend* discriminates polylogarithmic from polynomial
+// growth: a polylog cost has local exponents that decline toward 0 as n
+// grows, while any n^c holds a constant local exponent c.
+func LocalExponents(pts []Point) []float64 {
+	var usable []Point
+	for _, p := range pts {
+		if p.N > 0 && p.Cost > 0 {
+			usable = append(usable, p)
+		}
+	}
+	if len(usable) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(usable)-1)
+	for i := 1; i < len(usable); i++ {
+		a, b := usable[i-1], usable[i]
+		if a.N == b.N {
+			continue
+		}
+		out = append(out, math.Log(b.Cost/a.Cost)/math.Log(b.N/a.N))
+	}
+	return out
+}
+
+// GrowthClass is the verdict of ClassifyGrowth.
+type GrowthClass int
+
+const (
+	// GrowthUnknown means the series is too short or too flat to classify.
+	GrowthUnknown GrowthClass = iota
+	// GrowthPolylog means the cost grows like a power of log n: the local
+	// exponents decline as n grows (or sit uniformly near zero).
+	GrowthPolylog
+	// GrowthPolynomial means the cost grows like n^ε for some ε > 0: the
+	// local exponents hold roughly constant and bounded away from zero.
+	GrowthPolynomial
+)
+
+func (g GrowthClass) String() string {
+	switch g {
+	case GrowthPolylog:
+		return "polylog"
+	case GrowthPolynomial:
+		return "polynomial"
+	}
+	return "unknown"
+}
+
+// Growth-discrimination thresholds, shared so tests and callers agree on
+// the boundary. A polylog series' local exponents must fall by at least
+// growthDeclineMin from first to last, or sit uniformly below
+// growthFlatMax; a polynomial series holds them steady (within
+// growthDeclineMin) at or above growthFlatMax.
+const (
+	growthDeclineMin = 0.08
+	growthFlatMax    = 0.35
+)
+
+// ClassifyGrowth discriminates Θ(log^c n) from Θ(n^ε) growth. On a log-log
+// plot both look like "slowly growing", and naive degree fits on short
+// sweeps overshoot badly (additive lower-order terms); the robust
+// discriminator is the trend of the local exponents — declining toward 0
+// for polylog, constant 4^ε-per-quadrupling for a polynomial. Series with
+// fewer than three usable points (two local exponents) are GrowthUnknown.
+func ClassifyGrowth(pts []Point) GrowthClass {
+	es := LocalExponents(pts)
+	if len(es) < 2 {
+		return GrowthUnknown
+	}
+	first, last := es[0], es[len(es)-1]
+	maxE := es[0]
+	for _, e := range es {
+		if e > maxE {
+			maxE = e
+		}
+	}
+	switch {
+	case maxE <= growthFlatMax:
+		// Uniformly tiny growth: any n^ε with meaningful ε is excluded.
+		return GrowthPolylog
+	case first-last >= growthDeclineMin:
+		return GrowthPolylog
+	case math.Abs(first-last) < growthDeclineMin && last >= growthFlatMax:
+		return GrowthPolynomial
+	}
+	return GrowthUnknown
+}
+
+// Crossover fits power laws to two cost series and returns the problem
+// size at which the fitted lines intersect — the estimated n beyond which
+// the slower-growing series wins. ok is false when either fit is invalid
+// or the slopes are (numerically) parallel. The returned size may lie far
+// outside the measured range; callers decide whether extrapolation is
+// meaningful.
+func Crossover(a, b []Point) (n float64, ok bool) {
+	fa, fb := FitPowerLaw(a), FitPowerLaw(b)
+	if !fa.Valid() || !fb.Valid() {
+		return 0, false
+	}
+	dSlope := fa.Exponent - fb.Exponent
+	if math.Abs(dSlope) < 1e-9 {
+		return 0, false
+	}
+	// exp(ia) * n^ea = exp(ib) * n^eb  =>  n = exp((ib-ia)/(ea-eb))
+	logN := (fb.Intercept - fa.Intercept) / dSlope
+	if logN > 700 { // exp overflow guard; effectively "never crosses"
+		return math.Inf(1), true
+	}
+	return math.Exp(logN), true
+}

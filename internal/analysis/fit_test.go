@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func powerSeries(coef, exp float64, ns ...float64) []Point {
+	pts := make([]Point, len(ns))
+	for i, n := range ns {
+		pts[i] = Point{N: n, Cost: coef * math.Pow(n, exp)}
+	}
+	return pts
+}
+
+func polylogSeries(coef, deg float64, ns ...float64) []Point {
+	pts := make([]Point, len(ns))
+	for i, n := range ns {
+		pts[i] = Point{N: n, Cost: coef * math.Pow(math.Log(n), deg)}
+	}
+	return pts
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	f := FitPowerLaw(powerSeries(3, 1.5, 64, 256, 1024, 4096))
+	if !f.Valid() {
+		t.Fatalf("fit invalid: %+v", f)
+	}
+	if math.Abs(f.Exponent-1.5) > 1e-9 {
+		t.Errorf("exponent = %v, want 1.5", f.Exponent)
+	}
+	if math.Abs(f.Intercept-math.Log(3)) > 1e-9 {
+		t.Errorf("intercept = %v, want ln 3", f.Intercept)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1 for exact data", f.R2)
+	}
+	if f.Points != 4 {
+		t.Errorf("Points = %d, want 4", f.Points)
+	}
+	if got := f.Eval(1024); math.Abs(got-3*math.Pow(1024, 1.5)) > 1e-6 {
+		t.Errorf("Eval(1024) = %v", got)
+	}
+}
+
+func TestFitPowerLawNoisyR2(t *testing.T) {
+	// Perturb one point: R² must drop below 1 but stay high, and the fit
+	// must still land near the true slope.
+	pts := powerSeries(2, 1, 64, 256, 1024, 4096)
+	pts[2].Cost *= 1.4
+	f := FitPowerLaw(pts)
+	if f.R2 >= 1 || f.R2 < 0.9 {
+		t.Errorf("R2 = %v, want in [0.9, 1)", f.R2)
+	}
+	if math.Abs(f.Exponent-1) > 0.15 {
+		t.Errorf("exponent = %v, want ≈1", f.Exponent)
+	}
+}
+
+func TestFitPowerLawEdgeCases(t *testing.T) {
+	// Short sweeps: zero or one usable point is not a fit.
+	if f := FitPowerLaw(nil); f.Valid() || f.Points != 0 {
+		t.Errorf("nil fit = %+v, want invalid/0 points", f)
+	}
+	if f := FitPowerLaw([]Point{{N: 4, Cost: 2}}); f.Valid() {
+		t.Errorf("single-point fit = %+v, want invalid", f)
+	}
+	// Zero and negative values are dropped, not propagated into logs.
+	f := FitPowerLaw([]Point{{N: 0, Cost: 5}, {N: 16, Cost: 0}, {N: -2, Cost: -2}, {N: 4, Cost: 16}, {N: 8, Cost: 64}})
+	if !f.Valid() || f.Points != 2 {
+		t.Fatalf("fit = %+v, want valid with 2 usable points", f)
+	}
+	if math.Abs(f.Exponent-2) > 1e-9 {
+		t.Errorf("exponent = %v, want 2", f.Exponent)
+	}
+	// Two points always fit exactly.
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("two-point R2 = %v, want 1", f.R2)
+	}
+	// All points at the same N: degenerate, no slope.
+	if f := FitPowerLaw([]Point{{N: 8, Cost: 2}, {N: 8, Cost: 4}}); f.Valid() {
+		t.Errorf("same-N fit = %+v, want invalid", f)
+	}
+	// Flat series: slope 0 is a legitimate, perfect fit.
+	f = FitPowerLaw([]Point{{N: 4, Cost: 7}, {N: 16, Cost: 7}, {N: 64, Cost: 7}})
+	if !f.Valid() || math.Abs(f.Exponent) > 1e-12 || math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("flat fit = %+v, want slope 0 with R2 1", f)
+	}
+}
+
+func TestTailExponent(t *testing.T) {
+	pts := powerSeries(1, 0.5, 256, 1024, 4096)
+	// Additive constant term pollutes the head but not the tail estimate.
+	for i := range pts {
+		pts[i].Cost += 10
+	}
+	got := TailExponent(pts)
+	if got <= 0.4 || got >= 0.55 {
+		t.Errorf("tail exponent = %v, want near 0.5", got)
+	}
+	if !math.IsNaN(TailExponent(pts[:1])) {
+		t.Error("one-point tail should be NaN")
+	}
+	if !math.IsNaN(TailExponent([]Point{{N: 8, Cost: 1}, {N: 8, Cost: 2}})) {
+		t.Error("same-N tail should be NaN")
+	}
+	// Zero-cost points are dropped before taking the tail.
+	withZero := append(powerSeries(1, 1, 64, 256, 1024), Point{N: 4096, Cost: 0})
+	if got := TailExponent(withZero); math.Abs(got-1) > 1e-9 {
+		t.Errorf("tail with trailing zero = %v, want 1", got)
+	}
+}
+
+func TestLocalExponents(t *testing.T) {
+	es := LocalExponents(powerSeries(5, 2, 16, 64, 256))
+	if len(es) != 2 {
+		t.Fatalf("got %d local exponents, want 2", len(es))
+	}
+	for _, e := range es {
+		if math.Abs(e-2) > 1e-9 {
+			t.Errorf("local exponent = %v, want 2", e)
+		}
+	}
+	if LocalExponents(powerSeries(1, 1, 16)) != nil {
+		t.Error("single point should yield no local exponents")
+	}
+}
+
+func TestClassifyGrowth(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []Point
+		want GrowthClass
+	}{
+		{"log^1", polylogSeries(2, 1, 256, 1024, 4096, 16384, 65536), GrowthPolylog},
+		{"log^3", polylogSeries(7, 3, 256, 1024, 4096, 16384), GrowthPolylog},
+		{"n^0.5", powerSeries(3, 0.5, 256, 1024, 4096, 16384), GrowthPolynomial},
+		{"n^1", powerSeries(1, 1, 64, 256, 1024, 4096), GrowthPolynomial},
+		{"n^1.5", powerSeries(1, 1.5, 64, 256, 1024), GrowthPolynomial},
+		{"too-short", powerSeries(1, 1, 64, 256), GrowthUnknown},
+		{"empty", nil, GrowthUnknown},
+		// sqrt(n)*log(n): polynomial at heart; the log factor nudges the
+		// local exponents but they stay flat and well above the polylog band.
+		{"sqrt-n-log-n", func() []Point {
+			var pts []Point
+			for _, n := range []float64{256, 1024, 4096, 16384} {
+				pts = append(pts, Point{N: n, Cost: math.Sqrt(n) * math.Log(n)})
+			}
+			return pts
+		}(), GrowthPolynomial},
+	}
+	for _, c := range cases {
+		if got := ClassifyGrowth(c.pts); got != c.want {
+			t.Errorf("%s: ClassifyGrowth = %v, want %v (local exps %v)",
+				c.name, got, c.want, LocalExponents(c.pts))
+		}
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	// a = n^1.5, b = 100*n: lines cross at n^0.5 = 100, i.e. n = 10^4.
+	a := powerSeries(1, 1.5, 64, 256, 1024)
+	b := powerSeries(100, 1, 64, 256, 1024)
+	n, ok := Crossover(a, b)
+	if !ok {
+		t.Fatal("crossover not found")
+	}
+	if math.Abs(n-1e4)/1e4 > 1e-6 {
+		t.Errorf("crossover n = %v, want 1e4", n)
+	}
+	// Parallel lines never cross.
+	if _, ok := Crossover(a, powerSeries(5, 1.5, 64, 256, 1024)); ok {
+		t.Error("parallel series should report no crossover")
+	}
+	// Invalid inputs.
+	if _, ok := Crossover(nil, b); ok {
+		t.Error("invalid fit should report no crossover")
+	}
+}

@@ -1,0 +1,181 @@
+package bounds
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// rowsFor builds synthetic sweep rows {n, f1(n), f2(n), ...}.
+func rowsFor(ns []float64, fs ...func(n float64) float64) []harness.Row {
+	rows := make([]harness.Row, len(ns))
+	for i, n := range ns {
+		row := harness.Row{n}
+		for _, f := range fs {
+			row = append(row, f(n))
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+var sweepNs = []float64{256, 1024, 4096, 16384}
+
+func TestEvalExponent(t *testing.T) {
+	rows := rowsFor(sweepNs, func(n float64) float64 { return 3 * math.Pow(n, 1.5) })
+	c := Claim{ID: "t", Kind: Exponent, Col: 1, Want: 1.5, Tol: 0.1}
+	if v := c.Eval(rows); !v.Pass || math.Abs(v.Measured-1.5) > 1e-9 || math.Abs(v.R2-1) > 1e-9 {
+		t.Errorf("exact power law: %+v", v)
+	}
+	// A sweep growing as n^2 must fail a Theta(n^1.5) claim: the synthetic
+	// bad sweep behind boundcheck's non-zero exit.
+	bad := rowsFor(sweepNs, func(n float64) float64 { return n * n })
+	if v := c.Eval(bad); v.Pass {
+		t.Errorf("n^2 sweep passed a 1.5±0.1 exponent claim: %+v", v)
+	}
+}
+
+func TestEvalExponentAtMost(t *testing.T) {
+	c := Claim{ID: "t", Kind: ExponentAtMost, Col: 1, Want: 1.25, Tol: 0.1}
+	under := rowsFor(sweepNs, func(n float64) float64 { return math.Pow(n, 0.6) })
+	if v := c.Eval(under); !v.Pass {
+		t.Errorf("n^0.6 failed an O(n^1.25) claim: %+v", v)
+	}
+	over := rowsFor(sweepNs, func(n float64) float64 { return math.Pow(n, 1.5) })
+	if v := c.Eval(over); v.Pass {
+		t.Errorf("n^1.5 passed an O(n^1.25) claim: %+v", v)
+	}
+}
+
+func TestEvalTailExponent(t *testing.T) {
+	// Additive constant pollutes the head; the tail estimator sees ~0.5.
+	rows := rowsFor(sweepNs, func(n float64) float64 { return 5 + math.Sqrt(n) })
+	c := Claim{ID: "t", Kind: TailExponent, Col: 1, Want: 0.5, Tol: 0.1}
+	if v := c.Eval(rows); !v.Pass {
+		t.Errorf("sqrt tail failed: %+v", v)
+	}
+	lin := rowsFor(sweepNs, func(n float64) float64 { return n })
+	if v := c.Eval(lin); v.Pass {
+		t.Errorf("linear tail passed a sqrt claim: %+v", v)
+	}
+}
+
+func TestEvalPolylogAndPolynomial(t *testing.T) {
+	logCube := rowsFor(sweepNs, func(n float64) float64 { return math.Pow(math.Log(n), 3) })
+	sqrtLog := rowsFor(sweepNs, func(n float64) float64 { return math.Sqrt(n) * math.Log(n) })
+	pl := Claim{ID: "t", Kind: Polylog, Col: 1}
+	pn := Claim{ID: "t", Kind: Polynomial, Col: 1}
+	if v := pl.Eval(logCube); !v.Pass {
+		t.Errorf("log^3 not classified polylog: %+v", v)
+	}
+	if v := pl.Eval(sqrtLog); v.Pass {
+		t.Errorf("sqrt(n)log(n) classified polylog: %+v", v)
+	}
+	if v := pn.Eval(sqrtLog); !v.Pass {
+		t.Errorf("sqrt(n)log(n) not classified polynomial: %+v", v)
+	}
+	if v := pn.Eval(logCube); v.Pass {
+		t.Errorf("log^3 classified polynomial: %+v", v)
+	}
+}
+
+func TestEvalValueBounded(t *testing.T) {
+	// Ratio col1/col2 sits at exactly 2.
+	rows := rowsFor(sweepNs, func(n float64) float64 { return 2 * n }, func(n float64) float64 { return n })
+	in := Claim{ID: "t", Kind: ValueBounded, Col: 1, Den: 2, Lo: 1.5, Hi: 2.5}
+	if v := in.Eval(rows); !v.Pass {
+		t.Errorf("in-range ratio failed: %+v", v)
+	}
+	out := Claim{ID: "t", Kind: ValueBounded, Col: 1, Den: 2, Lo: 0.5, Hi: 1.5}
+	if v := out.Eval(rows); v.Pass {
+		t.Errorf("out-of-range ratio passed: %+v", v)
+	}
+	// DivPow normalization: n^1.5/n^1.5 = 1.
+	norm := Claim{ID: "t", Kind: ValueBounded, Col: 1, DivPow: 1.0, Lo: 1.9, Hi: 2.1}
+	if v := norm.Eval(rows); !v.Pass {
+		t.Errorf("DivPow-normalized value failed: %+v", v)
+	}
+	// A zero denominator poisons the point rather than passing silently.
+	zeroDen := rowsFor(sweepNs, func(n float64) float64 { return n }, func(n float64) float64 { return 0 })
+	if v := in.Eval(zeroDen); v.Pass {
+		t.Errorf("zero denominator passed: %+v", v)
+	}
+}
+
+func TestEvalRatioGrows(t *testing.T) {
+	grow := rowsFor(sweepNs, func(n float64) float64 { return n * math.Log(n) }, func(n float64) float64 { return n })
+	c := Claim{ID: "t", Kind: RatioGrows, Col: 1, Den: 2, MinGain: 2}
+	if v := c.Eval(grow); !v.Pass {
+		t.Errorf("log-growing ratio failed: %+v", v)
+	}
+	flat := rowsFor(sweepNs, func(n float64) float64 { return 3 * n }, func(n float64) float64 { return n })
+	if v := c.Eval(flat); v.Pass {
+		t.Errorf("flat ratio passed: %+v", v)
+	}
+}
+
+func TestEvalDominates(t *testing.T) {
+	c := Claim{ID: "t", Kind: Dominates, Col: 1, Den: 2}
+	wins := rowsFor(sweepNs, func(n float64) float64 { return n }, func(n float64) float64 { return n * n })
+	if v := c.Eval(wins); !v.Pass {
+		t.Errorf("dominating series failed: %+v", v)
+	}
+	// Loses at one point: the ordering claim must fail.
+	mixed := rowsFor(sweepNs, func(n float64) float64 { return n }, func(n float64) float64 { return n })
+	mixed[0][2] = 0.5
+	if v := c.Eval(mixed); v.Pass {
+		t.Errorf("non-dominating series passed: %+v", v)
+	}
+}
+
+func TestEvalCrossoverBeyond(t *testing.T) {
+	// col1 = 100·n^1.4 stays above col2 = n^1.6 through n=16384
+	// (equal at n = 100^5 = 1e10), and grows strictly slower.
+	rows := rowsFor(sweepNs,
+		func(n float64) float64 { return 100 * math.Pow(n, 1.4) },
+		func(n float64) float64 { return math.Pow(n, 1.6) })
+	c := Claim{ID: "t", Kind: CrossoverBeyond, Col: 1, Den: 2}
+	v := c.Eval(rows)
+	if !v.Pass {
+		t.Errorf("beyond-range crossover failed: %+v", v)
+	}
+	if math.Abs(v.Measured-1e10)/1e10 > 1e-6 {
+		t.Errorf("crossover n = %v, want 1e10", v.Measured)
+	}
+	// Crossover inside the measured range: claim fails (col1 dips below).
+	inside := rowsFor(sweepNs,
+		func(n float64) float64 { return 2 * math.Pow(n, 1.4) },
+		func(n float64) float64 { return math.Pow(n, 1.6) })
+	if v := c.Eval(inside); v.Pass {
+		t.Errorf("in-range crossover passed: %+v", v)
+	}
+	// Diverging series (col1 grows faster): never overtaken, claim fails.
+	diverge := rowsFor(sweepNs,
+		func(n float64) float64 { return 100 * math.Pow(n, 1.6) },
+		func(n float64) float64 { return math.Pow(n, 1.4) })
+	if v := c.Eval(diverge); v.Pass {
+		t.Errorf("diverging series passed: %+v", v)
+	}
+}
+
+func TestEvalDegenerateInputs(t *testing.T) {
+	c := Claim{ID: "t", Kind: Exponent, Col: 1, Want: 1, Tol: 0.1}
+	if v := c.Eval(nil); v.Pass || !strings.Contains(v.Detail, "no sweep rows") {
+		t.Errorf("empty rows: %+v", v)
+	}
+	// All-zero costs: no usable fit points, must fail not panic.
+	zeros := rowsFor(sweepNs, func(n float64) float64 { return 0 })
+	if v := c.Eval(zeros); v.Pass {
+		t.Errorf("zero-cost sweep passed: %+v", v)
+	}
+	short := rowsFor(sweepNs[:1], func(n float64) float64 { return n })
+	if v := c.Eval(short); v.Pass {
+		t.Errorf("single-point sweep passed: %+v", v)
+	}
+	unknown := Claim{ID: "t", Kind: Kind("nope"), Col: 1}
+	if v := unknown.Eval(rowsFor(sweepNs, func(n float64) float64 { return n })); v.Pass {
+		t.Errorf("unknown kind passed: %+v", v)
+	}
+}

@@ -1,0 +1,71 @@
+package bounds
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+)
+
+// Options configures a conformance run.
+type Options struct {
+	// MaxPoints caps every sweep's point count (0 = no cap). The quick/full
+	// split is chosen when building the sweep registry
+	// (experiments.BoundSweeps); this cap composes with it. Per-point
+	// progress reporting comes from harness.WithProgress on the runner.
+	MaxPoints int
+}
+
+// Report is the structured outcome of one conformance run.
+type Report struct {
+	Verdicts []Verdict `json:"verdicts"`
+}
+
+// Failures counts failed claims.
+func (r Report) Failures() int {
+	n := 0
+	for _, v := range r.Verdicts {
+		if !v.Pass {
+			n++
+		}
+	}
+	return n
+}
+
+// Passed reports whether every claim held.
+func (r Report) Passed() bool { return r.Failures() == 0 }
+
+// Check runs every claim's sweep through the runner and evaluates the
+// claims against the measurements. Distinct sweeps are enqueued up front
+// so they overlap across the runner's workers; each sweep runs once no
+// matter how many claims read it. An unknown sweep name is a wiring error,
+// not a failed claim.
+func Check(r *harness.Runner, reg *harness.Registry, claims []Claim, opt Options) (Report, error) {
+	var runOpts []harness.RunOption
+	if opt.MaxPoints > 0 {
+		runOpts = append(runOpts, harness.MaxPoints(opt.MaxPoints))
+	}
+
+	// Enqueue each distinct sweep once, in claim order.
+	handles := make(map[string]*harness.Sweep)
+	for _, c := range claims {
+		if _, seen := handles[c.Sweep]; seen {
+			continue
+		}
+		s, err := reg.Go(r, c.Sweep, runOpts...)
+		if err != nil {
+			return Report{}, fmt.Errorf("bounds: claim %s: %w", c.ID, err)
+		}
+		handles[c.Sweep] = s
+	}
+
+	rowsBySweep := make(map[string][]harness.Row, len(handles))
+	for name, s := range handles {
+		rowsBySweep[name] = s.Rows()
+	}
+
+	rep := Report{Verdicts: make([]Verdict, 0, len(claims))}
+	for _, c := range claims {
+		rep.Verdicts = append(rep.Verdicts, c.Eval(rowsBySweep[c.Sweep]))
+	}
+	return rep, nil
+}

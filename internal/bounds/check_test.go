@@ -1,0 +1,80 @@
+package bounds
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// syntheticRegistry registers closed-form sweeps (no simulation) so the
+// engine's plumbing — sweep dedup, row routing, verdict ordering, failure
+// propagation — is testable in microseconds.
+func syntheticRegistry() *harness.Registry {
+	reg := &harness.Registry{}
+	series := func(f func(n float64) float64) harness.PointFunc {
+		return func(i int, env *harness.Env) []harness.Row {
+			n := float64(int(256) << uint(2*i))
+			return harness.One(n, f(n))
+		}
+	}
+	reg.MustRegister(harness.SweepSpec{Name: "syn/linear", Points: 4,
+		Point: series(func(n float64) float64 { return 7 * n })})
+	reg.MustRegister(harness.SweepSpec{Name: "syn/quadratic", Points: 4,
+		Point: series(func(n float64) float64 { return n * n })})
+	return reg
+}
+
+func TestCheckPassAndFail(t *testing.T) {
+	claims := []Claim{
+		{ID: "syn/linear-is-linear", Kind: Exponent, Sweep: "syn/linear", Col: 1, Want: 1.0, Tol: 0.1},
+		// The synthetic bad sweep: n^2 data against a Θ(n) claim must fail.
+		{ID: "syn/quadratic-is-not-linear", Kind: Exponent, Sweep: "syn/quadratic", Col: 1, Want: 1.0, Tol: 0.1},
+		// Same sweep referenced twice: runs once, evaluated per claim.
+		{ID: "syn/linear-again", Kind: ExponentAtMost, Sweep: "syn/linear", Col: 1, Want: 1.0, Tol: 0.1},
+	}
+	rep, err := Check(harness.New(1), syntheticRegistry(), claims, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Verdicts) != len(claims) {
+		t.Fatalf("got %d verdicts, want %d", len(rep.Verdicts), len(claims))
+	}
+	for i, c := range claims {
+		if rep.Verdicts[i].ID != c.ID {
+			t.Errorf("verdict %d is %s, want claim order preserved (%s)", i, rep.Verdicts[i].ID, c.ID)
+		}
+	}
+	if rep.Passed() || rep.Failures() != 1 {
+		t.Errorf("Failures() = %d, want exactly the quadratic claim to fail", rep.Failures())
+	}
+	if v := rep.Verdicts[1]; v.Pass || math.Abs(v.Measured-2.0) > 1e-9 {
+		t.Errorf("quadratic claim verdict: %+v", v)
+	}
+	if !rep.Verdicts[0].Pass || !rep.Verdicts[2].Pass {
+		t.Errorf("linear claims failed: %+v, %+v", rep.Verdicts[0], rep.Verdicts[2])
+	}
+}
+
+func TestCheckUnknownSweepIsError(t *testing.T) {
+	claims := []Claim{{ID: "syn/ghost", Kind: Exponent, Sweep: "syn/no-such", Col: 1, Want: 1, Tol: 0.1}}
+	_, err := Check(harness.New(1), syntheticRegistry(), claims, Options{})
+	if err == nil || !strings.Contains(err.Error(), "syn/no-such") {
+		t.Fatalf("unknown sweep: err = %v, want wiring error naming the sweep", err)
+	}
+}
+
+func TestCheckMaxPoints(t *testing.T) {
+	claims := []Claim{{ID: "syn/linear-capped", Kind: Exponent, Sweep: "syn/linear", Col: 1, Want: 1.0, Tol: 0.1}}
+	rep, err := Check(harness.New(1), syntheticRegistry(), claims, Options{MaxPoints: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Verdicts[0].Points; got != 2 {
+		t.Errorf("capped run evaluated %d points, want 2", got)
+	}
+	if !rep.Verdicts[0].Pass {
+		t.Errorf("capped linear claim failed: %+v", rep.Verdicts[0])
+	}
+}

@@ -1,0 +1,36 @@
+package bounds
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+)
+
+// TestConformanceQuick is the in-tree conformance gate: the full claim
+// registry evaluated against the quick sweeps, exactly what
+// `boundcheck -quick` and `make conformance QUICK=1` run. It takes a few
+// seconds of simulation, so it skips under -short and under the race
+// detector (CI gates conformance in its own job).
+func TestConformanceQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick conformance still runs seconds of simulation")
+	}
+	if raceEnabled {
+		t.Skip("race detector makes the sweeps ~10x slower; CI runs make conformance separately")
+	}
+	r := harness.New(1, harness.WithWorkers(runtime.GOMAXPROCS(0)))
+	rep, err := Check(r, experiments.BoundSweeps(true), Registry(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Verdicts) == 0 {
+		t.Fatal("no verdicts produced")
+	}
+	for _, v := range rep.Verdicts {
+		if !v.Pass {
+			t.Errorf("claim %s (%s, %s) failed: %s", v.ID, v.Source, v.Stated, v.Detail)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package bounds
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package bounds
+
+// raceEnabled lets the conformance gate detect the race detector (roughly a
+// 10x slowdown) and skip; CI runs conformance through `make conformance`
+// separately from `go test -race`.
+const raceEnabled = true

@@ -1,0 +1,172 @@
+package bounds
+
+// TableIPrimitives and TableIMetrics enumerate the headline result's rows
+// and columns; the registry must cover their full cross product (pinned by
+// TestRegistryCoversTableI).
+var (
+	TableIPrimitives = []string{"scan", "sort", "selection", "spmv"}
+	TableIMetrics    = []Metric{Energy, Depth, Distance}
+)
+
+// Registry returns every machine-checked claim, in report order. IDs are
+// stable: "table1/<primitive>/<metric>" for the headline rows,
+// "<artifact>/<claim>" for the lemma- and section-level statements.
+//
+// Tolerances are calibrated against the recorded full-sweep measurements
+// in EXPERIMENTS.md *and* the smaller -quick sweeps (CI runs quick): wide
+// enough to absorb finite-size effects that are documented there (energy
+// fits approach 1.5 from below, distance converges from above), tight
+// enough that a broken algorithm or cost model trips them.
+func Registry() []Claim {
+	var claims []Claim
+
+	// --- Table I: energy exponents (least-squares over the full sweep).
+	claims = append(claims,
+		Claim{ID: "table1/scan/energy", Source: "Table I / Lemma IV.3", Primitive: "scan", Metric: Energy,
+			Stated: "Theta(n)", Kind: Exponent, Sweep: "bounds/scan", Col: 1, Want: 1.0, Tol: 0.15},
+		Claim{ID: "table1/sort/energy", Source: "Table I / Theorem V.8", Primitive: "sort", Metric: Energy,
+			Stated: "Theta(n^1.5)", Kind: Exponent, Sweep: "bounds/sort", Col: 1, Want: 1.5, Tol: 0.25},
+		Claim{ID: "table1/selection/energy", Source: "Table I / Theorem VI.3", Primitive: "selection", Metric: Energy,
+			Stated: "Theta(n)", Kind: Exponent, Sweep: "bounds/selection", Col: 1, Want: 1.0, Tol: 0.2},
+		Claim{ID: "table1/spmv/energy", Source: "Table I / Theorem VIII.2", Primitive: "spmv", Metric: Energy,
+			Stated: "Theta(m^1.5)", Kind: Exponent, Sweep: "bounds/spmv", Col: 1, Want: 1.5, Tol: 0.25},
+	)
+
+	// --- Table I: depth is polylogarithmic. Degree fits overshoot the
+	// paper's upper bounds on short sweeps (additive lower-order terms), so
+	// the gate is the polylog-vs-polynomial growth discriminator.
+	for _, p := range []struct{ prim, sweep, stated, src string }{
+		{"scan", "bounds/scan", "O(log n)", "Table I / Lemma IV.3"},
+		{"sort", "bounds/sort", "O(log^3 n)", "Table I / Theorem V.8"},
+		{"selection", "bounds/selection", "O(log^2 n)", "Table I / Theorem VI.3"},
+		{"spmv", "bounds/spmv", "O(log^3 n)", "Table I / Theorem VIII.2"},
+	} {
+		claims = append(claims, Claim{
+			ID: "table1/" + p.prim + "/depth", Source: p.src, Primitive: p.prim, Metric: Depth,
+			Stated: p.stated, Kind: Polylog, Sweep: p.sweep, Col: 2,
+		})
+	}
+
+	// --- Table I: distance tail exponents. The additive O(√n)-per-level
+	// terms decay slowly, so the tail slope is the estimator (EXPERIMENTS.md
+	// records tails 0.47–0.65 falling toward 0.5).
+	for _, p := range []struct{ prim, sweep, src string }{
+		{"scan", "bounds/scan", "Table I / Lemma IV.3"},
+		{"sort", "bounds/sort", "Table I / Theorem V.8"},
+		{"selection", "bounds/selection", "Table I / Theorem VI.3"},
+		{"spmv", "bounds/spmv", "Table I / Theorem VIII.2"},
+	} {
+		claims = append(claims, Claim{
+			ID: "table1/" + p.prim + "/distance", Source: p.src, Primitive: p.prim, Metric: Distance,
+			Stated: "Theta(sqrt n)", Kind: TailExponent, Sweep: p.sweep, Col: 3, Want: 0.5, Tol: 0.35,
+		})
+	}
+
+	// --- Lemma IV.1 / Cor. IV.2: broadcast and reduce energy within a
+	// constant of hw + h·log h on every tested subgrid shape.
+	claims = append(claims,
+		Claim{ID: "lemma-iv1/broadcast-within-constant", Source: "Lemma IV.1", Primitive: "broadcast", Metric: Energy,
+			Stated: "O(hw + h log h)", Kind: ValueBounded, Sweep: "bounds/collectives", Col: 1, Lo: 0.3, Hi: 2.5},
+		Claim{ID: "lemma-iv1/reduce-within-constant", Source: "Cor. IV.2", Primitive: "reduce", Metric: Energy,
+			Stated: "O(hw + h log h)", Kind: ValueBounded, Sweep: "bounds/collectives", Col: 2, Lo: 0.3, Hi: 2.5},
+	)
+
+	// --- Sec. IV-B: the binary-tree reduce pays a growing Θ(log n) energy
+	// factor over the multicast-free 2-D reduce.
+	claims = append(claims, Claim{
+		ID: "sec-iv-b/tree-reduce-log-penalty", Source: "Sec. IV-B", Primitive: "reduce", Metric: Derived,
+		Stated: "Theta(log n) energy separation", Kind: RatioGrows, Sweep: "bounds/reduce-ablation",
+		Col: 2, Den: 1, MinGain: 0.3,
+	})
+
+	// --- Sec. IV-C (Fig. 1): the scan design-space triangle.
+	claims = append(claims,
+		Claim{ID: "sec-iv-c/tree-scan-log-penalty", Source: "Sec. IV-C / Fig. 1", Primitive: "scan", Metric: Derived,
+			Stated: "Theta(log n) energy separation", Kind: RatioGrows, Sweep: "bounds/scan-ablation",
+			Col: 2, Den: 1, MinGain: 0.3},
+		Claim{ID: "sec-iv-c/zorder-scan-energy-optimal", Source: "Sec. IV-C / Lemma IV.3", Primitive: "scan", Metric: Derived,
+			Stated: "Theta(n): within a constant of the sequential scan", Kind: ValueBounded, Sweep: "bounds/scan-ablation",
+			Col: 1, Den: 3, Lo: 1.0, Hi: 3.5},
+	)
+
+	// --- Sorting comparison (Fig. 2, Lemmas V.3/V.4, Thm V.8).
+	claims = append(claims,
+		Claim{ID: "lemma-v4/bitonic-log-penalty", Source: "Lemma V.4 / Fig. 2", Primitive: "sort-bitonic", Metric: Derived,
+			Stated: "Theta(n^1.5 log n): E/n^1.5 grows", Kind: RatioGrows, Sweep: "bounds/sort-ablation",
+			Col: 2, DivPow: 1.5, MinGain: 1.0},
+		Claim{ID: "thm-v8/mergesort-normalized-bounded", Source: "Theorem V.8", Primitive: "sort", Metric: Derived,
+			Stated: "Theta(n^1.5): E/n^1.5 bounded", Kind: ValueBounded, Sweep: "bounds/sort-ablation",
+			Col: 1, DivPow: 1.5, Lo: 10, Hi: 80},
+		Claim{ID: "fig2/bitonic-wins-depth", Source: "Fig. 2 / Lemma V.4", Primitive: "sort-bitonic", Metric: Depth,
+			Stated: "O(log^2 n) < mergesort's O(log^3 n) at measured sizes", Kind: Dominates, Sweep: "bounds/sort-ablation",
+			Col: 5, Den: 4},
+		Claim{ID: "fig2/sort-energy-crossover", Source: "Fig. 2 / Sec. V-C", Primitive: "sort", Metric: Derived,
+			Stated: "mergesort overtakes bitonic only beyond the measured range", Kind: CrossoverBeyond, Sweep: "bounds/sort-ablation",
+			Col: 1, Den: 2},
+		Claim{ID: "sec-ii-b/mesh-depth-polynomial", Source: "Sec. II-B", Primitive: "sort-mesh", Metric: Depth,
+			Stated: "Theta(sqrt n log n): polynomial, not polylog", Kind: Polynomial, Sweep: "bounds/sort-ablation",
+			Col: 6},
+	)
+
+	// --- Lemma V.1 / Cor. V.2: the permutation lower bound and sorting's
+	// energy-optimality.
+	claims = append(claims,
+		Claim{ID: "lemma-v1/reversal-energy-floor", Source: "Lemma V.1", Primitive: "permute", Metric: Energy,
+			Stated: "Omega(n^1.5): reversal costs ~1.0·n^1.5", Kind: ValueBounded, Sweep: "bounds/lowerbound",
+			Col: 1, Lo: 0.9, Hi: 1.1},
+		Claim{ID: "cor-v2/sort-within-constant-of-permute", Source: "Cor. V.2", Primitive: "sort", Metric: Derived,
+			Stated: "sorting energy-optimal up to constants", Kind: ValueBounded, Sweep: "bounds/lowerbound",
+			Col: 2, Lo: 5, Hi: 60},
+	)
+
+	// --- Component lemmas V.5–V.7 (energy upper bounds).
+	claims = append(claims,
+		Claim{ID: "lemma-v5/all-pairs-energy", Source: "Lemma V.5", Primitive: "all-pairs-sort", Metric: Energy,
+			Stated: "O(n^2.5)", Kind: ExponentAtMost, Sweep: "bounds/all-pairs", Col: 1, Want: 2.5, Tol: 0.1},
+		Claim{ID: "lemma-v6/rank-select-energy", Source: "Lemma V.6", Primitive: "rank-select", Metric: Energy,
+			Stated: "O(n^1.25)", Kind: ExponentAtMost, Sweep: "bounds/rank-select", Col: 1, Want: 1.25, Tol: 0.1},
+		Claim{ID: "lemma-v7/merge-energy", Source: "Lemma V.7", Primitive: "merge", Metric: Energy,
+			Stated: "O(n^1.5)", Kind: ExponentAtMost, Sweep: "bounds/merge", Col: 1, Want: 1.5, Tol: 0.1},
+	)
+
+	// --- Theorem VI.3: selection beats sorting by a growing polynomial gap.
+	claims = append(claims,
+		Claim{ID: "thm-vi3/select-wins-energy", Source: "Theorem VI.3 / Sec. VI", Primitive: "selection", Metric: Energy,
+			Stated: "Theta(n) < sorting's Theta(n^1.5)", Kind: Dominates, Sweep: "bounds/selection-vs-sort",
+			Col: 1, Den: 2},
+		Claim{ID: "thm-vi3/sort-select-gap-grows", Source: "Sec. VI", Primitive: "selection", Metric: Derived,
+			Stated: "~sqrt(n) separation grows", Kind: RatioGrows, Sweep: "bounds/selection-vs-sort",
+			Col: 2, Den: 1, MinGain: 3},
+	)
+
+	// --- Sec. II-A: treefix sums at Θ(n) energy on any tree shape.
+	claims = append(claims,
+		Claim{ID: "sec-ii-a/treefix-path-linear", Source: "Sec. II-A vs [38]", Primitive: "treefix", Metric: Energy,
+			Stated: "Theta(n) on a path", Kind: Exponent, Sweep: "bounds/treefix", Col: 1, Want: 1.0, Tol: 0.15},
+		Claim{ID: "sec-ii-a/treefix-balanced-linear", Source: "Sec. II-A vs [38]", Primitive: "treefix", Metric: Energy,
+			Stated: "Theta(n) on a balanced tree", Kind: Exponent, Sweep: "bounds/treefix", Col: 2, Want: 1.0, Tol: 0.15},
+	)
+
+	// --- Theorem VIII.2: the direct SpMV beats the PRAM simulation on
+	// depth and distance at every measured size.
+	claims = append(claims,
+		Claim{ID: "thm-viii2/direct-spmv-wins-depth", Source: "Theorem VIII.2", Primitive: "spmv", Metric: Depth,
+			Stated: "log-factor depth win over PRAM route", Kind: Dominates, Sweep: "bounds/spmv-vs-pram",
+			Col: 1, Den: 2},
+		Claim{ID: "thm-viii2/direct-spmv-wins-distance", Source: "Theorem VIII.2", Primitive: "spmv", Metric: Distance,
+			Stated: "log-factor distance win over PRAM route", Kind: Dominates, Sweep: "bounds/spmv-vs-pram",
+			Col: 3, Den: 4},
+	)
+
+	return claims
+}
+
+// ByID returns the registered claim with the given ID.
+func ByID(id string) (Claim, bool) {
+	for _, c := range Registry() {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Claim{}, false
+}

@@ -1,7 +1,13 @@
-package main
+// Package experiments defines the paper's evaluation experiments — Table I
+// and the per-lemma/figure cost comparisons — as code shared by every
+// driver: cmd/spatialbench renders them as tables, and internal/bounds
+// replays the named measurement sweeps (see sweeps.go) to machine-check
+// the claimed Θ/O bounds.
+package experiments
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"repro/internal/analysis"
@@ -25,6 +31,53 @@ import (
 // collected back in point order. Each point draws its workload from an RNG
 // seeded by (base seed, sweep name, point index), so the emitted tables
 // are byte-identical for any -parallel value.
+
+// Config carries one driver invocation's settings: sweep sizes, output
+// encoding and destination, and the harness runner the sweeps execute on.
+type Config struct {
+	Quick bool      // smaller problem sizes
+	CSV   bool      // emit CSV instead of text tables
+	JSON  bool      // emit JSON instead of text tables
+	Out   io.Writer // experiment output
+	H     *harness.Runner
+}
+
+// Experiment is one named evaluation artifact reproduction.
+type Experiment struct {
+	Name     string
+	Artifact string // the paper artifact it reproduces
+	Desc     string
+	Run      func(cfg Config)
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table I", "energy/depth/distance scaling of scan, sort, selection, SpMV", runTable1},
+		{"collectives", "Lemma IV.1, Cor. IV.2", "broadcast and reduce bounds on h x w subgrids", runCollectives},
+		{"scan-ablation", "Fig. 1 / Sec. IV-C", "Z-order scan vs binary-tree scan vs sequential scan", runScanAblation},
+		{"reduce-ablation", "Sec. IV-B", "multicast-free reduce vs binary-tree reduce (log-factor energy win)", runReduceAblation},
+		{"sort-ablation", "Fig. 2, Lemmas V.3-V.4, Thm V.8", "2-D mergesort vs bitonic network vs mesh shearsort", runSortAblation},
+		{"components", "Lemmas V.5-V.7", "all-pairs sort, rank selection in sorted arrays, 2-D merge bounds", runComponents},
+		{"lowerbound", "Lemma V.1, Cor. V.2", "permutation energy lower bound and sorting optimality", runLowerBound},
+		{"selection", "Thm VI.3", "randomized selection: linear energy, polylog depth, vs sorting", runSelection},
+		{"pram", "Lemmas VII.1-VII.2", "EREW and CRCW simulation per-step costs", runPRAM},
+		{"spmv-ablation", "Thm VIII.2 / Sec. VIII", "direct SpMV vs PRAM-simulated SpMV across matrix families", runSpMVAblation},
+		{"treefix", "Sec. II-A vs [38]", "Euler-tour treefix sums at Theta(n) energy vs the tree-scan baseline", runTreefix},
+		{"depth-scaling", "Table I depth column", "fitted polylog degrees of depth for all four primitives", runDepthScaling},
+		{"congestion", "extension", "max per-link load (XY routing) of scans, sorts and broadcast", runCongestion},
+	}
+}
+
+// ByName returns the named experiment.
+func ByName(name string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
 
 // placeFloats lays vals out on the given track, padding the remainder of
 // the track with pad.
@@ -57,22 +110,16 @@ func squareFor(n int) grid.Rect {
 // tailExp is the scaling exponent between the last two sweep points. The
 // distance metric converges slowly (additive O(sqrt n) terms with large
 // constants dominate small sizes), so the tail is the honest estimate.
-func tailExp(pts []analysis.Point) float64 {
-	if len(pts) < 2 {
-		return math.NaN()
-	}
-	a, b := pts[len(pts)-2], pts[len(pts)-1]
-	return math.Log(b.Cost/a.Cost) / math.Log(b.N/a.N)
-}
+func tailExp(pts []analysis.Point) float64 { return analysis.TailExponent(pts) }
 
-func emit(cfg config, t *analysis.Table) {
+func emit(cfg Config, t *analysis.Table) {
 	switch {
-	case cfg.json:
-		fmt.Fprint(cfg.out, t.JSON())
-	case cfg.csv:
-		fmt.Fprint(cfg.out, t.CSV())
+	case cfg.JSON:
+		fmt.Fprint(cfg.Out, t.JSON())
+	case cfg.CSV:
+		fmt.Fprint(cfg.Out, t.CSV())
 	default:
-		fmt.Fprint(cfg.out, t.String())
+		fmt.Fprint(cfg.Out, t.String())
 	}
 }
 
@@ -112,52 +159,23 @@ func colPoints(rows []harness.Row, nCol, costCol int) []analysis.Point {
 // energy/depth/distance, fit the scaling exponents and compare them with
 // the paper's Theta bounds. The four primitive sweeps run overlapped on
 // the shared worker pool.
-func runTable1(cfg config) {
+func runTable1(cfg Config) {
 	type prim struct {
 		name string
 		ns   []int
 		run  func(n int, env *harness.Env) machine.Metrics
 	}
 	prims := []prim{
-		{"scan", sizes(cfg.quick, 256, 1024, 4096, 16384, 65536), func(n int, env *harness.Env) machine.Metrics {
-			vals := workload.Array(workload.Random, n, env.Rng)
-			return env.Measure(func(m *machine.Machine) {
-				r := grid.SquareFor(machine.Coord{}, n)
-				placeFloats(m, grid.ZOrder(r), "v", vals, 0)
-				collectives.Scan(m, r, "v", collectives.Add, 0.0)
-			})
-		}},
-		{"sort", sizes(cfg.quick, 256, 1024, 4096, 16384), func(n int, env *harness.Env) machine.Metrics {
-			vals := workload.Array(workload.Random, n, env.Rng)
-			return env.Measure(func(m *machine.Machine) {
-				r := grid.SquareFor(machine.Coord{}, n)
-				placeFloats(m, grid.RowMajor(r), "v", vals, 0)
-				core.MergeSort(m, r, "v", order.Float64)
-			})
-		}},
-		{"selection", sizes(cfg.quick, 256, 1024, 4096, 16384), func(n int, env *harness.Env) machine.Metrics {
-			vals := workload.Array(workload.Random, n, env.Rng)
-			return env.Measure(func(m *machine.Machine) {
-				r := grid.SquareFor(machine.Coord{}, n)
-				placeFloats(m, grid.RowMajor(r), "v", vals, 0)
-				core.Select(m, r, "v", n/2, order.Float64, env.Rng)
-			})
-		}},
-		{"spmv", sizes(cfg.quick, 256, 1024, 4096, 16384), func(nnz int, env *harness.Env) machine.Metrics {
-			a := workload.SparseMatrix(workload.MatUniform, nnz, nnz, env.Rng)
-			x := workload.Array(workload.Random, nnz, env.Rng)
-			return env.Measure(func(m *machine.Machine) {
-				if _, err := spmv.Multiply(m, a, x); err != nil {
-					panic(err)
-				}
-			})
-		}},
+		{"scan", sizes(cfg.Quick, 256, 1024, 4096, 16384, 65536), MeasureScan},
+		{"sort", sizes(cfg.Quick, 256, 1024, 4096, 16384), MeasureSort},
+		{"selection", sizes(cfg.Quick, 256, 1024, 4096, 16384), MeasureSelection},
+		{"spmv", sizes(cfg.Quick, 256, 1024, 4096, 16384), MeasureSpMV},
 	}
 
 	sweeps := make([]*harness.Sweep, len(prims))
 	for i, p := range prims {
 		p := p
-		sweeps[i] = cfg.h.Go("table1/"+p.name, len(p.ns), func(j int, env *harness.Env) []harness.Row {
+		sweeps[i] = cfg.H.Go("table1/"+p.name, len(p.ns), func(j int, env *harness.Env) []harness.Row {
 			mm := p.run(p.ns[j], env)
 			return harness.One(p.name, p.ns[j], float64(mm.Energy), float64(mm.Depth), float64(mm.Distance))
 		})
@@ -174,15 +192,15 @@ func runTable1(cfg config) {
 	}
 
 	emit(cfg, t)
-	fmt.Fprintln(cfg.out)
+	fmt.Fprintln(cfg.Out)
 	v := analysis.NewTable("problem", "paper energy", "measured exp", "verdict", "paper distance", "tail exp", "verdict")
 	v.AddRow("scan", "Theta(n)", eFit[0], analysis.Verdict(eFit[0], 1.0, 0.15), "Theta(sqrt n)", dTail[0], analysis.Verdict(dTail[0], 0.5, 0.3))
 	v.AddRow("sort", "Theta(n^1.5)", eFit[1], analysis.Verdict(eFit[1], 1.5, 0.25), "Theta(sqrt n)", dTail[1], analysis.Verdict(dTail[1], 0.5, 0.3))
 	v.AddRow("selection", "Theta(n)", eFit[2], analysis.Verdict(eFit[2], 1.0, 0.2), "Theta(sqrt n)", dTail[2], analysis.Verdict(dTail[2], 0.5, 0.3))
 	v.AddRow("spmv", "Theta(m^1.5)", eFit[3], analysis.Verdict(eFit[3], 1.5, 0.25), "Theta(sqrt m)", dTail[3], analysis.Verdict(dTail[3], 0.5, 0.3))
-	fmt.Fprint(cfg.out, v.String())
-	fmt.Fprintln(cfg.out, "\ndepth values above are O(log n), O(log^3 n), O(log^2 n), O(log^3 n) respectively (polylog; see the per-experiment sections);")
-	fmt.Fprintln(cfg.out, "distance uses the tail exponent — additive O(sqrt n) terms with large constants dominate the small end of the sweep")
+	fmt.Fprint(cfg.Out, v.String())
+	fmt.Fprintln(cfg.Out, "\ndepth values above are O(log n), O(log^3 n), O(log^2 n), O(log^3 n) respectively (polylog; see the per-experiment sections);")
+	fmt.Fprintln(cfg.Out, "distance uses the tail exponent — additive O(sqrt n) terms with large constants dominate the small end of the sweep")
 }
 
 // ----------------------------------------------------------- collectives --
@@ -190,12 +208,12 @@ func runTable1(cfg config) {
 // runCollectives validates Lemma IV.1 / Corollary IV.2 on square, column
 // and general h x w subgrids: energy within a constant of hw + h log h,
 // logarithmic depth, O(h + w) distance.
-func runCollectives(cfg config) {
+func runCollectives(cfg Config) {
 	shapes := [][2]int{{32, 32}, {64, 64}, {128, 128}, {1024, 1}, {4096, 1}, {256, 16}, {16, 256}, {512, 8}}
-	if cfg.quick {
+	if cfg.Quick {
 		shapes = shapes[:5]
 	}
-	rows := cfg.h.Sweep("collectives", len(shapes), func(i int, env *harness.Env) []harness.Row {
+	rows := cfg.H.Sweep("collectives", len(shapes), func(i int, env *harness.Env) []harness.Row {
 		h, w := shapes[i][0], shapes[i][1]
 		r := grid.Rect{Origin: machine.Coord{}, H: h, W: w}
 		bm := env.Measure(func(m *machine.Machine) {
@@ -223,9 +241,9 @@ func runCollectives(cfg config) {
 // Z-order scan must match the sequential scan's Theta(n) energy while
 // keeping the tree scan's O(log n) depth; the tree scan pays an extra
 // Theta(log n) energy factor.
-func runScanAblation(cfg config) {
-	ns := sizes(cfg.quick, 256, 1024, 4096, 16384, 65536)
-	rows := cfg.h.Sweep("scan-ablation", len(ns), func(i int, env *harness.Env) []harness.Row {
+func runScanAblation(cfg Config) {
+	ns := sizes(cfg.Quick, 256, 1024, 4096, 16384, 65536)
+	rows := cfg.H.Sweep("scan-ablation", len(ns), func(i int, env *harness.Env) []harness.Row {
 		n := ns[i]
 		vals := workload.Array(workload.Random, n, env.Rng)
 		z := env.Measure(func(m *machine.Machine) {
@@ -249,14 +267,14 @@ func runScanAblation(cfg config) {
 	t := analysis.NewTable("n", "zorder energy", "tree energy", "seq energy", "tree/zorder", "zorder depth", "tree depth", "seq depth")
 	addRows(t, rows)
 	emit(cfg, t)
-	fmt.Fprintln(cfg.out, "\nexpected shape: tree/zorder ratio grows ~log n; zorder and seq energies stay within a constant; seq depth = n-1")
+	fmt.Fprintln(cfg.Out, "\nexpected shape: tree/zorder ratio grows ~log n; zorder and seq energies stay within a constant; seq depth = n-1")
 }
 
 // -------------------------------------------------------- reduce ablation --
 
-func runReduceAblation(cfg config) {
-	ss := sizes(cfg.quick, 16, 32, 64, 128, 256)
-	rows := cfg.h.Sweep("reduce-ablation", len(ss), func(i int, env *harness.Env) []harness.Row {
+func runReduceAblation(cfg Config) {
+	ss := sizes(cfg.Quick, 16, 32, 64, 128, 256)
+	rows := cfg.H.Sweep("reduce-ablation", len(ss), func(i int, env *harness.Env) []harness.Row {
 		side := ss[i]
 		r := grid.Square(machine.Coord{}, side)
 		two := env.Measure(func(m *machine.Machine) {
@@ -273,7 +291,7 @@ func runReduceAblation(cfg config) {
 	t := analysis.NewTable("n", "2D reduce energy", "tree reduce energy", "ratio", "2D depth", "tree depth")
 	addRows(t, rows)
 	emit(cfg, t)
-	fmt.Fprintln(cfg.out, "\nexpected shape: ratio grows ~log n (Section IV-B's Theta(log n) energy improvement at equal O(log n) depth)")
+	fmt.Fprintln(cfg.Out, "\nexpected shape: ratio grows ~log n (Section IV-B's Theta(log n) energy improvement at equal O(log n) depth)")
 }
 
 // ---------------------------------------------------------- sort ablation --
@@ -282,9 +300,9 @@ func runReduceAblation(cfg config) {
 // V-C's discussion: bitonic pays a log-factor more energy than mergesort
 // asymptotically (normalized energies diverge), and the mesh baseline pays
 // polynomial depth.
-func runSortAblation(cfg config) {
-	ns := sizes(cfg.quick, 256, 1024, 4096, 16384)
-	rows := cfg.h.Sweep("sort-ablation", len(ns), func(i int, env *harness.Env) []harness.Row {
+func runSortAblation(cfg Config) {
+	ns := sizes(cfg.Quick, 256, 1024, 4096, 16384)
+	rows := cfg.H.Sweep("sort-ablation", len(ns), func(i int, env *harness.Env) []harness.Row {
 		n := ns[i]
 		vals := workload.Array(workload.Random, n, env.Rng)
 		ms := env.Measure(func(m *machine.Machine) {
@@ -310,17 +328,17 @@ func runSortAblation(cfg config) {
 		"merge E/n^1.5", "bitonic E/n^1.5", "merge depth", "bitonic depth", "mesh depth")
 	addRows(t, rows)
 	emit(cfg, t)
-	fmt.Fprintf(cfg.out, "\nmergesort energy exponent: %.3f (paper: 1.5)   bitonic energy exponent: %.3f (paper: 1.5 + log factor)\n",
+	fmt.Fprintf(cfg.Out, "\nmergesort energy exponent: %.3f (paper: 1.5)   bitonic energy exponent: %.3f (paper: 1.5 + log factor)\n",
 		analysis.FitExponent(colPoints(rows, 0, 1)), analysis.FitExponent(colPoints(rows, 0, 2)))
-	fmt.Fprintln(cfg.out, "expected shape: bitonic E/n^1.5 grows with n while mergesort E/n^1.5 falls toward a constant; mesh depth ~ sqrt(n) log n vs polylog for the others")
+	fmt.Fprintln(cfg.Out, "expected shape: bitonic E/n^1.5 grows with n while mergesort E/n^1.5 falls toward a constant; mesh depth ~ sqrt(n) log n vs polylog for the others")
 }
 
 // ------------------------------------------------------------- components --
 
-func runComponents(cfg config) {
+func runComponents(cfg Config) {
 	// All-Pairs Sort (Lemma V.5): O(n^{5/2}) energy, O(log n) depth.
-	apNs := sizes(cfg.quick, 16, 64, 256)
-	apSweep := cfg.h.Go("components/all-pairs", len(apNs), func(i int, env *harness.Env) []harness.Row {
+	apNs := sizes(cfg.Quick, 16, 64, 256)
+	apSweep := cfg.H.Go("components/all-pairs", len(apNs), func(i int, env *harness.Env) []harness.Row {
 		n := apNs[i]
 		vals := workload.Array(workload.Random, n, env.Rng)
 		mm := env.Measure(func(m *machine.Machine) {
@@ -334,8 +352,8 @@ func runComponents(cfg config) {
 	})
 
 	// Rank selection in two sorted arrays (Lemma V.6).
-	rsNs := sizes(cfg.quick, 1024, 4096, 16384)
-	rsSweep := cfg.h.Go("components/rank-select", len(rsNs), func(i int, env *harness.Env) []harness.Row {
+	rsNs := sizes(cfg.Quick, 1024, 4096, 16384)
+	rsSweep := cfg.H.Go("components/rank-select", len(rsNs), func(i int, env *harness.Env) []harness.Row {
 		n := rsNs[i]
 		half := n / 2
 		a := workload.Array(workload.Sorted, half, env.Rng)
@@ -354,8 +372,8 @@ func runComponents(cfg config) {
 	})
 
 	// 2-D Merge (Lemma V.7): O(n^{3/2}) energy, O(log^2 n) depth.
-	mgNs := sizes(cfg.quick, 512, 2048, 8192)
-	mgSweep := cfg.h.Go("components/merge", len(mgNs), func(i int, env *harness.Env) []harness.Row {
+	mgNs := sizes(cfg.Quick, 512, 2048, 8192)
+	mgSweep := cfg.H.Go("components/merge", len(mgNs), func(i int, env *harness.Env) []harness.Row {
 		n := mgNs[i]
 		quarter := n / 2
 		a := workload.Array(workload.Sorted, quarter, env.Rng)
@@ -376,27 +394,27 @@ func runComponents(cfg config) {
 	ap := analysis.NewTable("all-pairs n", "energy", "depth", "distance")
 	addRows(ap, apRows)
 	emit(cfg, ap)
-	fmt.Fprintf(cfg.out, "all-pairs energy exponent: %.3f (paper: 2.5)\n\n", analysis.FitExponent(colPoints(apRows, 0, 1)))
+	fmt.Fprintf(cfg.Out, "all-pairs energy exponent: %.3f (paper: 2.5)\n\n", analysis.FitExponent(colPoints(apRows, 0, 1)))
 
 	rsRows := rsSweep.Rows()
 	rs := analysis.NewTable("rank-select n", "energy", "depth", "distance")
 	addRows(rs, rsRows)
 	emit(cfg, rs)
-	fmt.Fprintf(cfg.out, "rank-select energy exponent: %.3f (paper: <= 1.25)\n\n", analysis.FitExponent(colPoints(rsRows, 0, 1)))
+	fmt.Fprintf(cfg.Out, "rank-select energy exponent: %.3f (paper: <= 1.25)\n\n", analysis.FitExponent(colPoints(rsRows, 0, 1)))
 
 	mgRows := mgSweep.Rows()
 	mg := analysis.NewTable("merge n", "energy", "depth", "distance")
 	addRows(mg, mgRows)
 	emit(cfg, mg)
-	fmt.Fprintf(cfg.out, "merge energy exponent: %.3f (paper: 1.5)\n", analysis.FitExponent(colPoints(mgRows, 0, 1)))
+	fmt.Fprintf(cfg.Out, "merge energy exponent: %.3f (paper: 1.5)\n", analysis.FitExponent(colPoints(mgRows, 0, 1)))
 }
 
 // -------------------------------------------------------------- lowerbound --
 
-func runLowerBound(cfg config) {
-	ns := sizes(cfg.quick, 1024, 4096, 16384)
+func runLowerBound(cfg Config) {
+	ns := sizes(cfg.Quick, 1024, 4096, 16384)
 	kinds := workload.PermKinds()
-	permSweep := cfg.h.Go("lowerbound/permutation", len(ns)*len(kinds), func(i int, env *harness.Env) []harness.Row {
+	permSweep := cfg.H.Go("lowerbound/permutation", len(ns)*len(kinds), func(i int, env *harness.Env) []harness.Row {
 		n := ns[i/len(kinds)]
 		kind := kinds[i%len(kinds)]
 		perm := workload.Permutation(kind, n, env.Rng)
@@ -411,8 +429,8 @@ func runLowerBound(cfg config) {
 
 	// Sorting a reversal-permuted input must cost within a constant of the
 	// permutation itself (Corollary V.2: the mergesort is energy-optimal).
-	sortNs := sizes(cfg.quick, 1024, 4096)
-	sortSweep := cfg.h.Go("lowerbound/sort-vs-perm", len(sortNs), func(i int, env *harness.Env) []harness.Row {
+	sortNs := sizes(cfg.Quick, 1024, 4096)
+	sortSweep := cfg.H.Go("lowerbound/sort-vs-perm", len(sortNs), func(i int, env *harness.Env) []harness.Row {
 		n := sortNs[i]
 		perm := workload.Permutation(workload.PermReversal, n, env.Rng)
 		pe := env.Measure(func(m *machine.Machine) {
@@ -434,18 +452,18 @@ func runLowerBound(cfg config) {
 	addRows(t, permSweep.Rows())
 	emit(cfg, t)
 
-	fmt.Fprintln(cfg.out)
+	fmt.Fprintln(cfg.Out)
 	c := analysis.NewTable("n", "reversal energy", "mergesort-on-reversed energy", "sort/permutation")
 	addRows(c, sortSweep.Rows())
 	emit(cfg, c)
-	fmt.Fprintln(cfg.out, "\nexpected shape: reversal ~ n^1.5/2; identity = 0; sort/permutation ratio bounded (sorting is energy-optimal up to constants)")
+	fmt.Fprintln(cfg.Out, "\nexpected shape: reversal ~ n^1.5/2; identity = 0; sort/permutation ratio bounded (sorting is energy-optimal up to constants)")
 }
 
 // --------------------------------------------------------------- selection --
 
-func runSelection(cfg config) {
-	ns := sizes(cfg.quick, 1024, 4096, 16384, 65536)
-	rows := cfg.h.Sweep("selection", len(ns), func(i int, env *harness.Env) []harness.Row {
+func runSelection(cfg Config) {
+	ns := sizes(cfg.Quick, 1024, 4096, 16384, 65536)
+	rows := cfg.H.Sweep("selection", len(ns), func(i int, env *harness.Env) []harness.Row {
 		n := ns[i]
 		vals := workload.Array(workload.Random, n, env.Rng)
 		sel := env.Measure(func(m *machine.Machine) {
@@ -471,15 +489,15 @@ func runSelection(cfg config) {
 	t := analysis.NewTable("n", "select energy", "sort energy", "sort/select", "select depth", "select energy/n")
 	addRows(t, rows)
 	emit(cfg, t)
-	fmt.Fprintf(cfg.out, "\nselection energy exponent: %.3f (paper: 1.0) — the sort/select gap grows ~sqrt(n) (polynomial separation, Section VI)\n",
+	fmt.Fprintf(cfg.Out, "\nselection energy exponent: %.3f (paper: 1.0) — the sort/select gap grows ~sqrt(n) (polynomial separation, Section VI)\n",
 		analysis.FitExponent(colPoints(rows, 0, 1)))
 }
 
 // -------------------------------------------------------------------- pram --
 
-func runPRAM(cfg config) {
-	ps := sizes(cfg.quick, 64, 256, 1024)
-	rows := cfg.h.Sweep("pram", len(ps), func(i int, env *harness.Env) []harness.Row {
+func runPRAM(cfg Config) {
+	ps := sizes(cfg.Quick, 64, 256, 1024)
+	rows := cfg.H.Sweep("pram", len(ps), func(i int, env *harness.Env) []harness.Row {
 		p := ps[i]
 		bound := float64(p) * (sqrtf(p) + 1)
 		em := env.Measure(func(m *machine.Machine) {
@@ -517,15 +535,15 @@ func runPRAM(cfg config) {
 	t := analysis.NewTable("mode", "p", "energy/step", "depth/step", "p*(sqrt p + sqrt m)", "energy ratio")
 	addRows(t, rows)
 	emit(cfg, t)
-	fmt.Fprintln(cfg.out, "\nexpected shape: energy/step within a constant of p(sqrt p + sqrt m); EREW depth/step O(1); CRCW depth/step polylog(p)")
+	fmt.Fprintln(cfg.Out, "\nexpected shape: energy/step within a constant of p(sqrt p + sqrt m); EREW depth/step O(1); CRCW depth/step polylog(p)")
 }
 
 // ----------------------------------------------------------- spmv ablation --
 
-func runSpMVAblation(cfg config) {
+func runSpMVAblation(cfg Config) {
 	kinds := workload.MatrixKinds()
-	ns := sizes(cfg.quick, 64, 256, 1024)
-	directSweep := cfg.h.Go("spmv-ablation/direct", len(kinds)*len(ns), func(i int, env *harness.Env) []harness.Row {
+	ns := sizes(cfg.Quick, 64, 256, 1024)
+	directSweep := cfg.H.Go("spmv-ablation/direct", len(kinds)*len(ns), func(i int, env *harness.Env) []harness.Row {
 		kind := kinds[i/len(ns)]
 		n := ns[i%len(ns)]
 		a := workload.SparseMatrix(kind, n, 4*n, env.Rng)
@@ -540,8 +558,8 @@ func runSpMVAblation(cfg config) {
 
 	// Direct vs PRAM-simulated (kept small: the CRCW simulation sorts per
 	// step).
-	vsNs := sizes(cfg.quick, 16, 32, 64)
-	vsSweep := cfg.h.Go("spmv-ablation/vs-pram", len(vsNs), func(i int, env *harness.Env) []harness.Row {
+	vsNs := sizes(cfg.Quick, 16, 32, 64)
+	vsSweep := cfg.H.Go("spmv-ablation/vs-pram", len(vsNs), func(i int, env *harness.Env) []harness.Row {
 		n := vsNs[i]
 		a := workload.SparseMatrix(workload.MatUniform, n, 4*n, env.Rng)
 		x := workload.Array(workload.Random, n, env.Rng)
@@ -568,12 +586,12 @@ func runSpMVAblation(cfg config) {
 		}
 	}
 	emit(cfg, t)
-	fmt.Fprintf(cfg.out, "\ndirect spmv energy exponent in nnz (uniform): %.3f (paper: 1.5)\n\n", analysis.FitExponent(ePts))
+	fmt.Fprintf(cfg.Out, "\ndirect spmv energy exponent in nnz (uniform): %.3f (paper: 1.5)\n\n", analysis.FitExponent(ePts))
 
 	c := analysis.NewTable("n", "nnz", "direct depth", "pram depth", "direct distance", "pram distance", "direct energy", "pram energy")
 	addRows(c, vsSweep.Rows())
 	emit(cfg, c)
-	fmt.Fprintln(cfg.out, "\nexpected shape: direct wins depth and distance by a growing (log) factor; energies within constants of each other")
+	fmt.Fprintln(cfg.Out, "\nexpected shape: direct wins depth and distance by a growing (log) factor; energies within constants of each other")
 }
 
 // ---------------------------------------------------------------- treefix --
@@ -583,9 +601,9 @@ func runSpMVAblation(cfg config) {
 // on a path; the Euler-tour + energy-optimal-scan route costs Theta(n) for
 // any tree shape. The binary-tree scan stands in for the [38] path
 // baseline.
-func runTreefix(cfg config) {
-	ns := sizes(cfg.quick, 1024, 4096, 16384, 65536)
-	rows := cfg.h.Sweep("treefix", len(ns), func(i int, env *harness.Env) []harness.Row {
+func runTreefix(cfg Config) {
+	ns := sizes(cfg.Quick, 1024, 4096, 16384, 65536)
+	rows := cfg.H.Sweep("treefix", len(ns), func(i int, env *harness.Env) []harness.Row {
 		n := ns[i]
 		ones := make([]float64, n)
 		for i := range ones {
@@ -611,8 +629,8 @@ func runTreefix(cfg config) {
 	t := analysis.NewTable("n", "treefix(path) E", "treefix(balanced) E", "tree-scan baseline E", "baseline/treefix", "treefix depth")
 	addRows(t, rows)
 	emit(cfg, t)
-	fmt.Fprintln(cfg.out, "\nexpected shape: treefix energy linear in n for both shapes; the baseline/treefix ratio grows ~log n")
-	fmt.Fprintln(cfg.out, "(the Euler tour doubles the scanned elements, so the ratio starts below 1 and crosses it near n ~ 2^20)")
+	fmt.Fprintln(cfg.Out, "\nexpected shape: treefix energy linear in n for both shapes; the baseline/treefix ratio grows ~log n")
+	fmt.Fprintln(cfg.Out, "(the Euler tour doubles the scanned elements, so the ratio starts below 1 and crosses it near n ~ 2^20)")
 }
 
 // ---------------------------------------------------------- depth scaling --
@@ -620,7 +638,7 @@ func runTreefix(cfg config) {
 // runDepthScaling fits the polylog degree c of depth ~ (log n)^c for each
 // primitive — the depth column of Table I. Paper targets: scan 1, selection
 // 2, sort 3, spmv 3 (upper bounds; measured degrees land at or below them).
-func runDepthScaling(cfg config) {
+func runDepthScaling(cfg Config) {
 	type prim struct {
 		name  string
 		paper string
@@ -628,45 +646,16 @@ func runDepthScaling(cfg config) {
 		run   func(n int, env *harness.Env) machine.Metrics
 	}
 	prims := []prim{
-		{"scan", "O(log n)", sizes(cfg.quick, 256, 1024, 4096, 16384, 65536), func(n int, env *harness.Env) machine.Metrics {
-			vals := workload.Array(workload.Random, n, env.Rng)
-			return env.Measure(func(m *machine.Machine) {
-				r := grid.SquareFor(machine.Coord{}, n)
-				placeFloats(m, grid.ZOrder(r), "v", vals, 0)
-				collectives.Scan(m, r, "v", collectives.Add, 0.0)
-			})
-		}},
-		{"selection", "O(log^2 n)", sizes(cfg.quick, 256, 1024, 4096, 16384, 65536), func(n int, env *harness.Env) machine.Metrics {
-			vals := workload.Array(workload.Random, n, env.Rng)
-			return env.Measure(func(m *machine.Machine) {
-				r := grid.SquareFor(machine.Coord{}, n)
-				placeFloats(m, grid.RowMajor(r), "v", vals, 0)
-				core.Select(m, r, "v", n/2, order.Float64, env.Rng)
-			})
-		}},
-		{"sort", "O(log^3 n)", sizes(cfg.quick, 256, 1024, 4096, 16384), func(n int, env *harness.Env) machine.Metrics {
-			vals := workload.Array(workload.Random, n, env.Rng)
-			return env.Measure(func(m *machine.Machine) {
-				r := grid.SquareFor(machine.Coord{}, n)
-				placeFloats(m, grid.RowMajor(r), "v", vals, 0)
-				core.MergeSort(m, r, "v", order.Float64)
-			})
-		}},
-		{"spmv", "O(log^3 n)", sizes(cfg.quick, 256, 1024, 4096), func(nnz int, env *harness.Env) machine.Metrics {
-			a := workload.SparseMatrix(workload.MatUniform, nnz, nnz, env.Rng)
-			x := workload.Array(workload.Random, nnz, env.Rng)
-			return env.Measure(func(m *machine.Machine) {
-				if _, err := spmv.Multiply(m, a, x); err != nil {
-					panic(err)
-				}
-			})
-		}},
+		{"scan", "O(log n)", sizes(cfg.Quick, 256, 1024, 4096, 16384, 65536), MeasureScan},
+		{"selection", "O(log^2 n)", sizes(cfg.Quick, 256, 1024, 4096, 16384, 65536), MeasureSelection},
+		{"sort", "O(log^3 n)", sizes(cfg.Quick, 256, 1024, 4096, 16384), MeasureSort},
+		{"spmv", "O(log^3 n)", sizes(cfg.Quick, 256, 1024, 4096), MeasureSpMV},
 	}
 
 	sweeps := make([]*harness.Sweep, len(prims))
 	for i, p := range prims {
 		p := p
-		sweeps[i] = cfg.h.Go("depth-scaling/"+p.name, len(p.ns), func(j int, env *harness.Env) []harness.Row {
+		sweeps[i] = cfg.H.Go("depth-scaling/"+p.name, len(p.ns), func(j int, env *harness.Env) []harness.Row {
 			mm := p.run(p.ns[j], env)
 			return harness.One(p.ns[j], mm.Depth)
 		})
@@ -685,11 +674,11 @@ func runDepthScaling(cfg config) {
 		t.AddRow(p.name, p.paper, analysis.FitLogExponent(colPoints(rows, 0, 1)), series)
 	}
 	emit(cfg, t)
-	fmt.Fprintln(cfg.out, "\ndiscriminating check: a polylog depth has per-quadrupling growth ratios that *decline* toward 1")
-	fmt.Fprintln(cfg.out, "(scan 1.25->1.14, sort 2.8->2.3->1.8; selection's are noisy at these sizes but stay ~1.0-1.4),")
-	fmt.Fprintln(cfg.out, "whereas any polynomial n^c keeps a constant ratio 4^c (the mesh sort measures a steady ~2.3x).")
-	fmt.Fprintln(cfg.out, "Fitted degrees overshoot the paper's upper bounds on short sweeps because of additive")
-	fmt.Fprintln(cfg.out, "lower-order terms; the ratios are the evidence.")
+	fmt.Fprintln(cfg.Out, "\ndiscriminating check: a polylog depth has per-quadrupling growth ratios that *decline* toward 1")
+	fmt.Fprintln(cfg.Out, "(scan 1.25->1.14, sort 2.8->2.3->1.8; selection's are noisy at these sizes but stay ~1.0-1.4),")
+	fmt.Fprintln(cfg.Out, "whereas any polynomial n^c keeps a constant ratio 4^c (the mesh sort measures a steady ~2.3x).")
+	fmt.Fprintln(cfg.Out, "Fitted degrees overshoot the paper's upper bounds on short sweeps because of additive")
+	fmt.Fprintln(cfg.Out, "lower-order terms; the ratios are the evidence.")
 }
 
 // ------------------------------------------------------------ congestion --
@@ -701,9 +690,9 @@ func runDepthScaling(cfg config) {
 // funnels traffic through the middle of the row-major layout. Each point
 // leases a congestion-tracking machine (harness.WithCongestion) and runs
 // all algorithms for its size on the same input array.
-func runCongestion(cfg config) {
-	ns := sizes(cfg.quick, 1024, 4096, 16384)
-	rows := cfg.h.Sweep("congestion", len(ns), func(i int, env *harness.Env) []harness.Row {
+func runCongestion(cfg Config) {
+	ns := sizes(cfg.Quick, 1024, 4096, 16384)
+	rows := cfg.H.Sweep("congestion", len(ns), func(i int, env *harness.Env) []harness.Row {
 		n := ns[i]
 		vals := workload.Array(workload.Random, n, env.Rng)
 		type algo struct {
@@ -747,7 +736,7 @@ func runCongestion(cfg config) {
 	t := analysis.NewTable("algorithm", "n", "energy", "max link load", "load/sqrt(n)")
 	addRows(t, rows)
 	emit(cfg, t)
-	fmt.Fprintln(cfg.out, "\nextension beyond the paper's metrics: max per-link load under XY routing (energy is the total load)")
+	fmt.Fprintln(cfg.Out, "\nextension beyond the paper's metrics: max per-link load under XY routing (energy is the total load)")
 }
 
 func log2f(x int) float64 {

@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"repro/internal/collectives"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/order"
+	"repro/internal/sortnet"
+	"repro/internal/spmv"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// Shared primitive measurements — the same code paths back both the
+// table-rendering experiments (table1, depth-scaling) and the named bound
+// sweeps the conformance checker replays. Each measures one primitive of
+// Table I on a fresh machine leased from the point's env.
+
+// MeasureScan runs the energy-optimal Z-order scan on n random values.
+func MeasureScan(n int, env *harness.Env) machine.Metrics {
+	vals := workload.Array(workload.Random, n, env.Rng)
+	return env.Measure(func(m *machine.Machine) {
+		r := grid.SquareFor(machine.Coord{}, n)
+		placeFloats(m, grid.ZOrder(r), "v", vals, 0)
+		collectives.Scan(m, r, "v", collectives.Add, 0.0)
+	})
+}
+
+// MeasureSort runs the 2-D mergesort (Theorem V.8) on n random values.
+func MeasureSort(n int, env *harness.Env) machine.Metrics {
+	vals := workload.Array(workload.Random, n, env.Rng)
+	return env.Measure(func(m *machine.Machine) {
+		r := grid.SquareFor(machine.Coord{}, n)
+		placeFloats(m, grid.RowMajor(r), "v", vals, 0)
+		core.MergeSort(m, r, "v", order.Float64)
+	})
+}
+
+// MeasureSelection runs randomized median selection (Theorem VI.3).
+func MeasureSelection(n int, env *harness.Env) machine.Metrics {
+	vals := workload.Array(workload.Random, n, env.Rng)
+	return env.Measure(func(m *machine.Machine) {
+		r := grid.SquareFor(machine.Coord{}, n)
+		placeFloats(m, grid.RowMajor(r), "v", vals, 0)
+		core.Select(m, r, "v", n/2, order.Float64, env.Rng)
+	})
+}
+
+// MeasureSpMV runs the direct SpMV (Theorem VIII.2) on an nnz-entry
+// uniform sparse matrix.
+func MeasureSpMV(nnz int, env *harness.Env) machine.Metrics {
+	a := workload.SparseMatrix(workload.MatUniform, nnz, nnz, env.Rng)
+	x := workload.Array(workload.Random, nnz, env.Rng)
+	return env.Measure(func(m *machine.Machine) {
+		if _, err := spmv.Multiply(m, a, x); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// metricsRow is the canonical bound-sweep row: n, energy, depth, distance.
+func metricsRow(n int, mm machine.Metrics) []harness.Row {
+	return harness.One(n, float64(mm.Energy), float64(mm.Depth), float64(mm.Distance))
+}
+
+// Column indices of the metricsRow shape, exported for claim definitions.
+const (
+	ColN        = 0
+	ColEnergy   = 1
+	ColDepth    = 2
+	ColDistance = 3
+)
+
+// BoundSweeps builds the named-sweep registry the conformance checker
+// runs. Every sweep emits rows whose first cell is the problem size n;
+// the remaining columns are documented per sweep. Sweep names are stable
+// identifiers — they key both claim definitions (internal/bounds) and the
+// per-point workload RNGs, so renaming one changes its measured workloads.
+func BoundSweeps(quick bool) *harness.Registry {
+	reg := &harness.Registry{}
+
+	metric := func(name string, ns []int, measure func(n int, env *harness.Env) machine.Metrics) {
+		reg.MustRegister(harness.SweepSpec{
+			Name:   name,
+			Points: len(ns),
+			Point: func(i int, env *harness.Env) []harness.Row {
+				return metricsRow(ns[i], measure(ns[i], env))
+			},
+		})
+	}
+
+	// Table I primitives: rows {n, energy, depth, distance}.
+	metric("bounds/scan", sizes(quick, 256, 1024, 4096, 16384, 65536), MeasureScan)
+	metric("bounds/sort", sizes(quick, 256, 1024, 4096, 16384), MeasureSort)
+	metric("bounds/selection", sizes(quick, 256, 1024, 4096, 16384, 65536), MeasureSelection)
+	metric("bounds/spmv", sizes(quick, 256, 1024, 4096, 16384), MeasureSpMV)
+
+	// Scan design space (Sec. IV-C): rows {n, zorderE, treeE, seqE}.
+	scanNs := sizes(quick, 256, 1024, 4096, 16384, 65536)
+	reg.MustRegister(harness.SweepSpec{
+		Name:   "bounds/scan-ablation",
+		Points: len(scanNs),
+		Point: func(i int, env *harness.Env) []harness.Row {
+			n := scanNs[i]
+			vals := workload.Array(workload.Random, n, env.Rng)
+			z := env.Measure(func(m *machine.Machine) {
+				r := grid.SquareFor(machine.Coord{}, n)
+				placeFloats(m, grid.ZOrder(r), "v", vals, 0)
+				collectives.Scan(m, r, "v", collectives.Add, 0.0)
+			})
+			tr := env.Measure(func(m *machine.Machine) {
+				r := grid.SquareFor(machine.Coord{}, n)
+				placeFloats(m, grid.RowMajor(r), "v", vals, 0)
+				collectives.ScanTrack(m, grid.RowMajor(r), "v", collectives.Add, 0.0)
+			})
+			sq := env.Measure(func(m *machine.Machine) {
+				r := grid.SquareFor(machine.Coord{}, n)
+				placeFloats(m, grid.ZOrder(r), "v", vals, 0)
+				collectives.ScanSequential(m, grid.ZOrder(r), "v", collectives.Add)
+			})
+			return harness.One(n, float64(z.Energy), float64(tr.Energy), float64(sq.Energy))
+		},
+	})
+
+	// Reduce ablation (Sec. IV-B): rows {n, twoDimE, treeE}.
+	sides := sizes(quick, 16, 32, 64, 128, 256)
+	reg.MustRegister(harness.SweepSpec{
+		Name:   "bounds/reduce-ablation",
+		Points: len(sides),
+		Point: func(i int, env *harness.Env) []harness.Row {
+			side := sides[i]
+			r := grid.Square(machine.Coord{}, side)
+			two := env.Measure(func(m *machine.Machine) {
+				placeFloats(m, grid.RowMajor(r), "v", nil, 1)
+				collectives.Reduce(m, r, "v", collectives.Add)
+			})
+			tr := env.Measure(func(m *machine.Machine) {
+				placeFloats(m, grid.RowMajor(r), "v", nil, 1)
+				collectives.ReduceTrack(m, grid.RowMajor(r), "v", collectives.Add)
+			})
+			return harness.One(side*side, float64(two.Energy), float64(tr.Energy))
+		},
+	})
+
+	// Sorting comparison (Fig. 2): rows {n, mergeE, bitonicE, meshE,
+	// mergeD, bitonicD, meshD}.
+	sortNs := sizes(quick, 256, 1024, 4096, 16384)
+	reg.MustRegister(harness.SweepSpec{
+		Name:   "bounds/sort-ablation",
+		Points: len(sortNs),
+		Point: func(i int, env *harness.Env) []harness.Row {
+			n := sortNs[i]
+			vals := workload.Array(workload.Random, n, env.Rng)
+			ms := env.Measure(func(m *machine.Machine) {
+				r := grid.SquareFor(machine.Coord{}, n)
+				placeFloats(m, grid.RowMajor(r), "v", vals, 0)
+				core.MergeSort(m, r, "v", order.Float64)
+			})
+			bs := env.Measure(func(m *machine.Machine) {
+				r := grid.SquareFor(machine.Coord{}, n)
+				placeFloats(m, grid.RowMajor(r), "v", vals, 0)
+				sortnet.Sort(m, grid.RowMajor(r), "v", n, order.Float64)
+			})
+			sh := env.Measure(func(m *machine.Machine) {
+				r := grid.SquareFor(machine.Coord{}, n)
+				placeFloats(m, grid.RowMajor(r), "v", vals, 0)
+				sortnet.Shearsort(m, r, "v", order.Float64)
+			})
+			return harness.One(n, float64(ms.Energy), float64(bs.Energy), float64(sh.Energy),
+				float64(ms.Depth), float64(bs.Depth), float64(sh.Depth))
+		},
+	})
+
+	// Collectives bound ratios (Lemma IV.1): rows {h*w, bcastE/bound,
+	// reduceE/bound} where bound = hw + max(h,w)·log(max(h,w)).
+	shapes := [][2]int{{32, 32}, {64, 64}, {128, 128}, {1024, 1}, {4096, 1}, {256, 16}, {16, 256}, {512, 8}}
+	if quick {
+		shapes = shapes[:5]
+	}
+	reg.MustRegister(harness.SweepSpec{
+		Name:   "bounds/collectives",
+		Points: len(shapes),
+		Point: func(i int, env *harness.Env) []harness.Row {
+			h, w := shapes[i][0], shapes[i][1]
+			r := grid.Rect{Origin: machine.Coord{}, H: h, W: w}
+			bm := env.Measure(func(m *machine.Machine) {
+				m.Set(r.Origin, "v", 1.0)
+				collectives.Broadcast(m, r, "v")
+			})
+			rm := env.Measure(func(m *machine.Machine) {
+				placeFloats(m, grid.RowMajor(r), "v", nil, 1)
+				collectives.Reduce(m, r, "v", collectives.Add)
+			})
+			bound := float64(h*w) + float64(maxInt(h, w))*log2f(maxInt(h, w))
+			return harness.One(h*w, float64(bm.Energy)/bound, float64(rm.Energy)/bound)
+		},
+	})
+
+	// Permutation lower bound (Lemma V.1 / Cor. V.2): rows {n,
+	// reversalE/n^1.5, mergesortOnReversedE/reversalE}.
+	lbNs := sizes(quick, 1024, 4096, 16384)
+	reg.MustRegister(harness.SweepSpec{
+		Name:   "bounds/lowerbound",
+		Points: len(lbNs),
+		Point: func(i int, env *harness.Env) []harness.Row {
+			n := lbNs[i]
+			perm := workload.Permutation(workload.PermReversal, n, env.Rng)
+			pe := env.Measure(func(m *machine.Machine) {
+				r := grid.SquareFor(machine.Coord{}, n)
+				tr := grid.RowMajor(r)
+				placeFloats(m, tr, "v", nil, 1)
+				core.Permute(m, tr, "v", tr, "v", perm)
+			})
+			vals := workload.Array(workload.Reversed, n, env.Rng)
+			se := env.Measure(func(m *machine.Machine) {
+				r := grid.SquareFor(machine.Coord{}, n)
+				placeFloats(m, grid.RowMajor(r), "v", vals, 0)
+				core.MergeSort(m, r, "v", order.Float64)
+			})
+			n15 := float64(n) * sqrtf(n)
+			return harness.One(n, float64(pe.Energy)/n15, float64(se.Energy)/float64(pe.Energy))
+		},
+	})
+
+	// Component lemmas (V.5–V.7): rows {n, energy}.
+	apNs := sizes(quick, 16, 64, 256)
+	reg.MustRegister(harness.SweepSpec{
+		Name:   "bounds/all-pairs",
+		Points: len(apNs),
+		Point: func(i int, env *harness.Env) []harness.Row {
+			n := apNs[i]
+			vals := workload.Array(workload.Random, n, env.Rng)
+			mm := env.Measure(func(m *machine.Machine) {
+				r := grid.SquareFor(machine.Coord{}, n)
+				tr := grid.RowMajor(r)
+				placeFloats(m, tr, "v", vals, 0)
+				scratch := r.RightOf(core.AllPairsScratchSide(n), core.AllPairsScratchSide(n))
+				core.AllPairsSort(m, tr, "v", n, scratch, order.Float64)
+			})
+			return harness.One(n, float64(mm.Energy))
+		},
+	})
+	rsNs := sizes(quick, 1024, 4096, 16384)
+	reg.MustRegister(harness.SweepSpec{
+		Name:   "bounds/rank-select",
+		Points: len(rsNs),
+		Point: func(i int, env *harness.Env) []harness.Row {
+			n := rsNs[i]
+			half := n / 2
+			a := workload.Array(workload.Sorted, half, env.Rng)
+			b := workload.Array(workload.Sorted, half, env.Rng)
+			mm := env.Measure(func(m *machine.Machine) {
+				ra := squareFor(half)
+				rb := grid.Square(machine.Coord{Row: 0, Col: ra.W + 1}, ra.W)
+				tA := grid.Slice(grid.RowMajor(ra), 0, half)
+				tB := grid.Slice(grid.RowMajor(rb), 0, half)
+				placeFloats(m, tA, "v", a, 0)
+				placeFloats(m, tB, "v", b, 0)
+				scratch := grid.Square(machine.Coord{Row: ra.H + 1, Col: 0}, core.SelectScratchSide(n))
+				core.SelectInSorted(m, tA, tB, "v", n/2, scratch, order.Float64)
+			})
+			return harness.One(n, float64(mm.Energy))
+		},
+	})
+	mgNs := sizes(quick, 512, 2048, 8192)
+	reg.MustRegister(harness.SweepSpec{
+		Name:   "bounds/merge",
+		Points: len(mgNs),
+		Point: func(i int, env *harness.Env) []harness.Row {
+			n := mgNs[i]
+			quarter := n / 2
+			a := workload.Array(workload.Sorted, quarter, env.Rng)
+			b := workload.Array(workload.Sorted, quarter, env.Rng)
+			mm := env.Measure(func(m *machine.Machine) {
+				r := grid.SquareFor(machine.Coord{}, 2*n)
+				q := r.Quadrants()
+				tA := grid.Slice(grid.RowMajor(q[0]), 0, quarter)
+				tB := grid.Slice(grid.RowMajor(q[1]), 0, quarter)
+				placeFloats(m, tA, "v", a, 0)
+				placeFloats(m, tB, "v", b, 0)
+				core.Merge(m, tA, tB, "v", r.TopHalf(), order.Float64)
+			})
+			return harness.One(n, float64(mm.Energy))
+		},
+	})
+
+	// Selection vs sorting separation (Sec. VI): rows {n, selectE, sortE}.
+	selNs := sizes(quick, 1024, 4096, 16384)
+	reg.MustRegister(harness.SweepSpec{
+		Name:   "bounds/selection-vs-sort",
+		Points: len(selNs),
+		Point: func(i int, env *harness.Env) []harness.Row {
+			n := selNs[i]
+			sel := MeasureSelection(n, env)
+			srt := MeasureSort(n, env)
+			return harness.One(n, float64(sel.Energy), float64(srt.Energy))
+		},
+	})
+
+	// Treefix sums (Sec. II-A): rows {n, pathE, balancedE}.
+	tfNs := sizes(quick, 1024, 4096, 16384, 65536)
+	reg.MustRegister(harness.SweepSpec{
+		Name:   "bounds/treefix",
+		Points: len(tfNs),
+		Point: func(i int, env *harness.Env) []harness.Row {
+			n := tfNs[i]
+			ones := make([]float64, n)
+			for j := range ones {
+				ones[j] = 1
+			}
+			run := func(tr tree.Tree) machine.Metrics {
+				return env.Measure(func(m *machine.Machine) {
+					if _, err := tree.RootfixSum(m, tr, ones); err != nil {
+						panic(err)
+					}
+				})
+			}
+			pathM := run(tree.Path(n))
+			balM := run(tree.Balanced(n))
+			return harness.One(n, float64(pathM.Energy), float64(balM.Energy))
+		},
+	})
+
+	// Direct vs PRAM-simulated SpMV (Sec. VIII): rows {n, directDepth,
+	// pramDepth, directDist, pramDist}.
+	vsNs := sizes(quick, 16, 32, 64)
+	reg.MustRegister(harness.SweepSpec{
+		Name:   "bounds/spmv-vs-pram",
+		Points: len(vsNs),
+		Point: func(i int, env *harness.Env) []harness.Row {
+			n := vsNs[i]
+			a := workload.SparseMatrix(workload.MatUniform, n, 4*n, env.Rng)
+			x := workload.Array(workload.Random, n, env.Rng)
+			dm := env.Measure(func(m *machine.Machine) {
+				if _, err := spmv.Multiply(m, a, x); err != nil {
+					panic(err)
+				}
+			})
+			pm := env.Measure(func(m *machine.Machine) {
+				if _, err := spmv.MultiplyPRAM(m, a, x); err != nil {
+					panic(err)
+				}
+			})
+			return harness.One(n, float64(dm.Depth), float64(pm.Depth),
+				float64(dm.Distance), float64(pm.Distance))
+		},
+	})
+
+	return reg
+}
