@@ -11,7 +11,12 @@
 //	boundcheck                 # full sweeps (minutes; nightly / release)
 //	boundcheck -json           # structured verdicts on stdout
 //	boundcheck -run table1/    # only claims whose ID has this prefix
+//	boundcheck -timeout 9m     # per-sweep budget; unstarted points skipped
 //	boundcheck -list           # list registered claims and exit
+//
+// Full runs report weighted progress and an ETA on stderr by default
+// (large-n points dominate the wall clock, so the estimate is cost-based,
+// not point-count-based); -progress=false silences it.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/bounds"
@@ -54,7 +60,8 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 		seed      = fs.Int64("seed", 1, "random seed for workload generation")
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweep points")
 		maxPoints = fs.Int("maxpoints", 0, "cap every sweep at its first k points (0 = no cap)")
-		progress  = fs.Bool("progress", false, "report per-point completion on stderr")
+		timeout   = fs.Duration("timeout", 0, "per-sweep wall-clock budget; unstarted points are skipped (0 = none)")
+		progress  = fs.Bool("progress", false, "report completion and ETA on stderr (default true for full runs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,6 +69,17 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 	if *quick && *full {
 		fmt.Fprintln(stderr, "boundcheck: -quick and -full are mutually exclusive")
 		return 2
+	}
+	progressSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "progress" {
+			progressSet = true
+		}
+	})
+	if !progressSet && !*quick {
+		// Full sweeps run for minutes; default to telling the operator
+		// where the run stands. Quick runs stay silent (they gate CI logs).
+		*progress = true
 	}
 
 	reg, claims := prov(*quick)
@@ -88,24 +106,34 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 		return 0
 	}
 
-	opts := []harness.Option{harness.WithWorkers(*parallel)}
+	// Largest-first scheduling: the 2²⁰ tail points start immediately and
+	// overlap the swarm of cheap points instead of serializing the pool at
+	// the end of the run. Row order and RNG seeding are unaffected.
+	opts := []harness.Option{harness.WithWorkers(*parallel), harness.WithLargestFirst()}
 	if *progress {
-		opts = append(opts, harness.WithProgress(func(done, total int) {
-			fmt.Fprintf(stderr, "\r%d/%d points", done, total)
+		start := time.Now()
+		opts = append(opts, harness.WithWeightedProgress(func(done, total int, doneCost, totalCost float64) {
+			line := fmt.Sprintf("\r%d/%d points (%3.0f%% of est. cost%s)",
+				done, total, 100*doneCost/totalCost, etaSuffix(time.Since(start), doneCost, totalCost))
+			fmt.Fprint(stderr, line)
 			if done == total {
 				fmt.Fprintln(stderr)
 			}
 		}))
 	}
 
-	rep, err := bounds.Check(harness.New(*seed, opts...), reg, claims, bounds.Options{MaxPoints: *maxPoints})
+	rep, err := bounds.Check(harness.New(*seed, opts...), reg, claims,
+		bounds.Options{MaxPoints: *maxPoints, Deadline: *timeout})
 	if err != nil {
 		fmt.Fprintf(stderr, "boundcheck: %v\n", err)
 		return 2
 	}
+	if n := rep.Skipped(); n > 0 {
+		fmt.Fprintf(stderr, "boundcheck: -timeout %v skipped %d sweep points; claims judged on the points that ran\n", *timeout, n)
+	}
 
 	if *jsonOut {
-		if err := writeJSON(stdout, rep, *quick, *seed); err != nil {
+		if err := writeJSON(stdout, rep, *quick, *seed, *maxPoints); err != nil {
 			fmt.Fprintf(stderr, "boundcheck: %v\n", err)
 			return 2
 		}
@@ -116,6 +144,16 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 		return 1
 	}
 	return 0
+}
+
+// etaSuffix renders a cost-weighted remaining-time estimate once enough of
+// the run has finished for extrapolation to mean anything.
+func etaSuffix(elapsed time.Duration, doneCost, totalCost float64) string {
+	if doneCost <= 0 || totalCost <= doneCost {
+		return ""
+	}
+	eta := time.Duration(float64(elapsed) * (totalCost - doneCost) / doneCost)
+	return ", ETA " + eta.Round(time.Second).String()
 }
 
 func writeTable(w io.Writer, rep bounds.Report) {
@@ -146,14 +184,17 @@ func fmtMeasure(f float64) string {
 	return fmt.Sprintf("%.4g", f)
 }
 
-func writeJSON(w io.Writer, rep bounds.Report, quick bool, seed int64) error {
+func writeJSON(w io.Writer, rep bounds.Report, quick bool, seed int64, maxPoints int) error {
 	doc := struct {
-		Quick    bool          `json:"quick"`
-		Seed     int64         `json:"seed"`
-		Claims   int           `json:"claims"`
-		Failures int           `json:"failures"`
-		Verdicts []jsonVerdict `json:"verdicts"`
-	}{Quick: quick, Seed: seed, Claims: len(rep.Verdicts), Failures: rep.Failures()}
+		Quick     bool               `json:"quick"`
+		Seed      int64              `json:"seed"`
+		MaxPoints int                `json:"maxpoints"`
+		Claims    int                `json:"claims"`
+		Failures  int                `json:"failures"`
+		Sweeps    []bounds.SweepStat `json:"sweeps"`
+		Verdicts  []jsonVerdict      `json:"verdicts"`
+	}{Quick: quick, Seed: seed, MaxPoints: maxPoints, Claims: len(rep.Verdicts),
+		Failures: rep.Failures(), Sweeps: rep.Sweeps}
 	for _, v := range rep.Verdicts {
 		jv := jsonVerdict{Verdict: v, Measured: fmtMeasure(v.Measured)}
 		if !math.IsNaN(v.R2) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -67,6 +68,47 @@ func TestFailureVerdictInOutput(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "0/1 claims hold") {
 		t.Errorf("table output missing failure verdict:\n%s", out.String())
+	}
+}
+
+// TestJSONRunMetadata: the JSON document carries the run shape — the
+// maxpoints cap and per-sweep row counts — so nightly artifacts are
+// self-describing about their coverage.
+func TestJSONRunMetadata(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if got := run([]string{"-quick", "-json", "-maxpoints", "2"}, &out, &errOut, synthProvider(true)); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errOut.String())
+	}
+	var doc struct {
+		MaxPoints int `json:"maxpoints"`
+		Sweeps    []struct {
+			Name    string `json:"name"`
+			Rows    int    `json:"rows"`
+			Skipped int    `json:"skipped"`
+		} `json:"sweeps"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if doc.MaxPoints != 2 {
+		t.Errorf("maxpoints = %d, want 2", doc.MaxPoints)
+	}
+	if len(doc.Sweeps) != 1 || doc.Sweeps[0].Name != "syn/quadratic" || doc.Sweeps[0].Rows != 2 {
+		t.Errorf("sweeps = %+v, want syn/quadratic with 2 rows", doc.Sweeps)
+	}
+}
+
+// TestTimeoutSkipsPoints: an expired -timeout budget skips every
+// unstarted point; the run reports the truncation on stderr and the
+// claim fails on the empty evidence instead of passing vacuously.
+func TestTimeoutSkipsPoints(t *testing.T) {
+	var out, errOut bytes.Buffer
+	got := run([]string{"-quick", "-timeout", "1ns"}, &out, &errOut, synthProvider(true))
+	if got != 1 {
+		t.Fatalf("exit = %d, want 1 (no rows → claim cannot hold); stderr: %s", got, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "skipped") {
+		t.Errorf("stderr does not report the skipped points: %s", errOut.String())
 	}
 }
 

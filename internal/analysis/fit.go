@@ -180,25 +180,66 @@ func ClassifyGrowth(pts []Point) GrowthClass {
 	return GrowthUnknown
 }
 
+// Side identifies which of Crossover's two series wins (is cheaper)
+// beyond the crossover point.
+type Side int
+
+const (
+	// SideNone means no winner could be determined (invalid fits or
+	// numerically parallel slopes).
+	SideNone Side = iota
+	// SideA means the first series grows strictly slower and is the
+	// cheaper one beyond the crossover.
+	SideA
+	// SideB means the second series wins beyond the crossover.
+	SideB
+)
+
+func (s Side) String() string {
+	switch s {
+	case SideA:
+		return "a"
+	case SideB:
+		return "b"
+	}
+	return "none"
+}
+
 // Crossover fits power laws to two cost series and returns the problem
 // size at which the fitted lines intersect — the estimated n beyond which
-// the slower-growing series wins. ok is false when either fit is invalid
-// or the slopes are (numerically) parallel. The returned size may lie far
-// outside the measured range; callers decide whether extrapolation is
-// meaningful.
-func Crossover(a, b []Point) (n float64, ok bool) {
+// the slower-growing series wins — plus that winning side (the series
+// with the smaller fitted slope). ok is false when either fit is invalid
+// or the slopes are (numerically) parallel; winner is SideNone then.
+//
+// Both ends of exp's range are guarded symmetrically: a crossover beyond
+// e^700 reports (+Inf, winner, true) — the lines effectively never cross
+// at representable sizes — and one below e^-700 reports exactly (0,
+// winner, true): the winner is already ahead at every measurable size.
+// Without the lower guard, exp underflows through subnormal garbage
+// (e.g. 5e-313) to 0, which callers comparing against a size threshold
+// would silently mistake for a real crossover location. The returned
+// size may lie far outside the measured range; callers decide whether
+// extrapolation is meaningful.
+func Crossover(a, b []Point) (n float64, winner Side, ok bool) {
 	fa, fb := FitPowerLaw(a), FitPowerLaw(b)
 	if !fa.Valid() || !fb.Valid() {
-		return 0, false
+		return 0, SideNone, false
 	}
 	dSlope := fa.Exponent - fb.Exponent
 	if math.Abs(dSlope) < 1e-9 {
-		return 0, false
+		return 0, SideNone, false
+	}
+	winner = SideA // beyond the crossing, the smaller slope lies below
+	if dSlope > 0 {
+		winner = SideB
 	}
 	// exp(ia) * n^ea = exp(ib) * n^eb  =>  n = exp((ib-ia)/(ea-eb))
 	logN := (fb.Intercept - fa.Intercept) / dSlope
-	if logN > 700 { // exp overflow guard; effectively "never crosses"
-		return math.Inf(1), true
+	switch {
+	case logN > 700: // exp overflow; effectively "never crosses"
+		return math.Inf(1), winner, true
+	case logN < -700: // exp underflow; crossed before any measurable size
+		return 0, winner, true
 	}
-	return math.Exp(logN), true
+	return math.Exp(logN), winner, true
 }

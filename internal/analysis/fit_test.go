@@ -159,21 +159,85 @@ func TestClassifyGrowth(t *testing.T) {
 
 func TestCrossover(t *testing.T) {
 	// a = n^1.5, b = 100*n: lines cross at n^0.5 = 100, i.e. n = 10^4.
+	// b has the smaller slope, so b wins beyond the crossing.
 	a := powerSeries(1, 1.5, 64, 256, 1024)
 	b := powerSeries(100, 1, 64, 256, 1024)
-	n, ok := Crossover(a, b)
+	n, winner, ok := Crossover(a, b)
 	if !ok {
 		t.Fatal("crossover not found")
 	}
 	if math.Abs(n-1e4)/1e4 > 1e-6 {
 		t.Errorf("crossover n = %v, want 1e4", n)
 	}
+	if winner != SideB {
+		t.Errorf("winner = %v, want b (smaller slope)", winner)
+	}
+	// Swapping the arguments mirrors the winner but not the location.
+	n2, winner2, ok2 := Crossover(b, a)
+	if !ok2 || winner2 != SideA || math.Abs(n2-n) > 1e-6*n {
+		t.Errorf("swapped crossover = (%v, %v, %v), want (%v, a, true)", n2, winner2, ok2, n)
+	}
 	// Parallel lines never cross.
-	if _, ok := Crossover(a, powerSeries(5, 1.5, 64, 256, 1024)); ok {
-		t.Error("parallel series should report no crossover")
+	if _, winner, ok := Crossover(a, powerSeries(5, 1.5, 64, 256, 1024)); ok || winner != SideNone {
+		t.Error("parallel series should report no crossover and no winner")
 	}
 	// Invalid inputs.
-	if _, ok := Crossover(nil, b); ok {
-		t.Error("invalid fit should report no crossover")
+	if _, winner, ok := Crossover(nil, b); ok || winner != SideNone {
+		t.Error("invalid fit should report no crossover and no winner")
+	}
+}
+
+func TestCrossoverOverflowGuard(t *testing.T) {
+	// Slopes differ by a hair while the intercepts differ hugely: the
+	// fitted lines cross at exp(huge), far beyond float range. The guard
+	// must report "effectively never" as +Inf, not overflow garbage.
+	a := powerSeries(1, 1.0+2e-9, 64, 256, 1024)
+	b := powerSeries(1e300, 1, 64, 256, 1024)
+	n, winner, ok := Crossover(a, b)
+	if !ok || !math.IsInf(n, 1) {
+		t.Fatalf("Crossover = (%v, %v, %v), want (+Inf, b, true)", n, winner, ok)
+	}
+	if winner != SideB {
+		t.Errorf("winner = %v, want b", winner)
+	}
+}
+
+func TestCrossoverUnderflowGuard(t *testing.T) {
+	// Regression: the mirrored case of the overflow guard. Here the
+	// steeper series starts e^373 above the flatter one, so
+	// logN = (ib-ia)/(ea-eb) = -373/0.5 = -746 — below exp()'s subnormal
+	// range. Before the symmetric guard, Crossover evaluated
+	// math.Exp(-746) and returned exactly 0 (or, for slightly less
+	// extreme inputs, 5e-324-style subnormal dust) with ok = true, which
+	// callers comparing "crossover > nMax" silently treated as a real
+	// location near n = 0. The guard pins the result to exactly
+	// (0, winner, true): the winner leads at every measurable size.
+	a := powerSeries(1, 1.5, 64, 256, 1024)
+	b := powerSeries(1, 1, 64, 256, 1024)
+	for i := range a {
+		a[i].Cost *= math.Exp(373)
+	}
+	n, winner, ok := Crossover(a, b)
+	if !ok {
+		t.Fatal("crossover not found")
+	}
+	if n != 0 {
+		t.Errorf("crossover n = %g, want exactly 0 (guarded underflow)", n)
+	}
+	if winner != SideB {
+		t.Errorf("winner = %v, want b (smaller slope wins beyond the crossing)", winner)
+	}
+	// Just inside the guard the closed form still evaluates normally:
+	// intercept gap e^100 with the same slope gap crosses at e^-200.
+	c := powerSeries(1, 1.5, 64, 256, 1024)
+	for i := range c {
+		c[i].Cost *= math.Exp(100)
+	}
+	n, _, ok = Crossover(c, b)
+	if !ok || n <= 0 || math.IsInf(n, 0) {
+		t.Errorf("in-range crossover = (%v, %v), want finite positive", n, ok)
+	}
+	if want := math.Exp(-200); math.Abs(n-want)/want > 1e-6 {
+		t.Errorf("in-range crossover n = %g, want e^-200", n)
 	}
 }

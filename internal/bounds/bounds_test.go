@@ -130,6 +130,35 @@ func TestEvalDominates(t *testing.T) {
 	}
 }
 
+func TestEvalDominatesTransientLead(t *testing.T) {
+	// col1 = 0.001·n^1.5 sits below col2 = n at every measured point
+	// (ratio 0.001·√n ≤ 0.128 through 16384), but grows strictly faster:
+	// the fits name the baseline the asymptotic winner, so the measured
+	// lead is transient and the durability check must fail the claim.
+	c := Claim{ID: "t", Kind: Dominates, Col: 1, Den: 2}
+	rows := rowsFor(sweepNs,
+		func(n float64) float64 { return 0.001 * math.Pow(n, 1.5) },
+		func(n float64) float64 { return n })
+	v := c.Eval(rows)
+	if v.Pass {
+		t.Errorf("transient lead passed a dominance claim: %+v", v)
+	}
+	if !strings.Contains(v.Detail, "transient") {
+		t.Errorf("detail does not flag the transient lead: %q", v.Detail)
+	}
+	// The max-ratio part of the check still held — only durability failed.
+	if v.Measured >= 1 {
+		t.Errorf("max ratio = %v, expected <1 (the failure is the trend, not the range)", v.Measured)
+	}
+	// A durable win: smaller values AND the smaller slope.
+	durable := rowsFor(sweepNs,
+		func(n float64) float64 { return 0.5 * n },
+		func(n float64) float64 { return n * math.Log(n) })
+	if v := c.Eval(durable); !v.Pass {
+		t.Errorf("durable dominance failed: %+v", v)
+	}
+}
+
 func TestEvalCrossoverBeyond(t *testing.T) {
 	// col1 = 100·n^1.4 stays above col2 = n^1.6 through n=16384
 	// (equal at n = 100^5 = 1e10), and grows strictly slower.
@@ -157,6 +186,23 @@ func TestEvalCrossoverBeyond(t *testing.T) {
 		func(n float64) float64 { return math.Pow(n, 1.4) })
 	if v := c.Eval(diverge); v.Pass {
 		t.Errorf("diverging series passed: %+v", v)
+	}
+	// Parallel slopes: col1 is above at every point but the fits name no
+	// winner, so there is no crossover to be beyond — the claim fails
+	// loudly instead of passing on the raw ordering alone.
+	parallel := rowsFor(sweepNs,
+		func(n float64) float64 { return 100 * math.Pow(n, 1.5) },
+		func(n float64) float64 { return math.Pow(n, 1.5) })
+	v = c.Eval(parallel)
+	if v.Pass {
+		t.Errorf("parallel series passed a crossover claim: %+v", v)
+	}
+	if !strings.Contains(v.Detail, "neither") {
+		t.Errorf("detail does not name the missing winner: %q", v.Detail)
+	}
+	// The passing verdict names the winning side explicitly.
+	if v := c.Eval(rows); !strings.Contains(v.Detail, "won by claimed side") {
+		t.Errorf("passing detail does not name the winner: %q", v.Detail)
 	}
 }
 

@@ -2,6 +2,8 @@ package bounds
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -13,11 +15,28 @@ type Options struct {
 	// (experiments.BoundSweeps); this cap composes with it. Per-point
 	// progress reporting comes from harness.WithProgress on the runner.
 	MaxPoints int
+	// Deadline is a per-sweep wall-clock budget (0 = none): points of a
+	// sweep that have not started when its budget expires are skipped and
+	// reported in the sweep's stats (see harness.WithDeadline for the
+	// exact semantics). Claims then evaluate on the points that did run —
+	// a safety valve for scheduled full runs, where a too-slow machine
+	// should produce a truncated-but-honest report instead of hanging.
+	Deadline time.Duration
+}
+
+// SweepStat records how one named sweep ran: how many rows it produced
+// and how many points its deadline skipped. Emitted into the JSON report
+// so scheduled-run artifacts are self-describing about their coverage.
+type SweepStat struct {
+	Name    string `json:"name"`
+	Rows    int    `json:"rows"`
+	Skipped int    `json:"skipped,omitempty"`
 }
 
 // Report is the structured outcome of one conformance run.
 type Report struct {
-	Verdicts []Verdict `json:"verdicts"`
+	Verdicts []Verdict   `json:"verdicts"`
+	Sweeps   []SweepStat `json:"sweeps"`
 }
 
 // Failures counts failed claims.
@@ -34,6 +53,16 @@ func (r Report) Failures() int {
 // Passed reports whether every claim held.
 func (r Report) Passed() bool { return r.Failures() == 0 }
 
+// Skipped counts sweep points dropped by the per-sweep deadline across
+// the whole run.
+func (r Report) Skipped() int {
+	n := 0
+	for _, s := range r.Sweeps {
+		n += s.Skipped
+	}
+	return n
+}
+
 // Check runs every claim's sweep through the runner and evaluates the
 // claims against the measurements. Distinct sweeps are enqueued up front
 // so they overlap across the runner's workers; each sweep runs once no
@@ -43,6 +72,9 @@ func Check(r *harness.Runner, reg *harness.Registry, claims []Claim, opt Options
 	var runOpts []harness.RunOption
 	if opt.MaxPoints > 0 {
 		runOpts = append(runOpts, harness.MaxPoints(opt.MaxPoints))
+	}
+	if opt.Deadline > 0 {
+		runOpts = append(runOpts, harness.Deadline(opt.Deadline))
 	}
 
 	// Enqueue each distinct sweep once, in claim order.
@@ -59,11 +91,15 @@ func Check(r *harness.Runner, reg *harness.Registry, claims []Claim, opt Options
 	}
 
 	rowsBySweep := make(map[string][]harness.Row, len(handles))
+	rep := Report{Sweeps: make([]SweepStat, 0, len(handles))}
 	for name, s := range handles {
-		rowsBySweep[name] = s.Rows()
+		rows := s.Rows()
+		rowsBySweep[name] = rows
+		rep.Sweeps = append(rep.Sweeps, SweepStat{Name: name, Rows: len(rows), Skipped: s.Skipped()})
 	}
+	sort.Slice(rep.Sweeps, func(i, j int) bool { return rep.Sweeps[i].Name < rep.Sweeps[j].Name })
 
-	rep := Report{Verdicts: make([]Verdict, 0, len(claims))}
+	rep.Verdicts = make([]Verdict, 0, len(claims))
 	for _, c := range claims {
 		rep.Verdicts = append(rep.Verdicts, c.Eval(rowsBySweep[c.Sweep]))
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -62,6 +63,60 @@ func TestCheckUnknownSweepIsError(t *testing.T) {
 	_, err := Check(harness.New(1), syntheticRegistry(), claims, Options{})
 	if err == nil || !strings.Contains(err.Error(), "syn/no-such") {
 		t.Fatalf("unknown sweep: err = %v, want wiring error naming the sweep", err)
+	}
+}
+
+func TestCheckReportsSweepStats(t *testing.T) {
+	claims := []Claim{
+		{ID: "syn/b", Kind: Exponent, Sweep: "syn/quadratic", Col: 1, Want: 2.0, Tol: 0.1},
+		{ID: "syn/a", Kind: Exponent, Sweep: "syn/linear", Col: 1, Want: 1.0, Tol: 0.1},
+		{ID: "syn/a2", Kind: ExponentAtMost, Sweep: "syn/linear", Col: 1, Want: 1.0, Tol: 0.1},
+	}
+	rep, err := Check(harness.New(1), syntheticRegistry(), claims, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One stat per distinct sweep, sorted by name regardless of claim order.
+	if len(rep.Sweeps) != 2 {
+		t.Fatalf("got %d sweep stats, want 2: %+v", len(rep.Sweeps), rep.Sweeps)
+	}
+	if rep.Sweeps[0].Name != "syn/linear" || rep.Sweeps[1].Name != "syn/quadratic" {
+		t.Errorf("sweep stats not sorted by name: %+v", rep.Sweeps)
+	}
+	for _, s := range rep.Sweeps {
+		if s.Rows != 4 || s.Skipped != 0 {
+			t.Errorf("sweep %s: rows=%d skipped=%d, want 4/0", s.Name, s.Rows, s.Skipped)
+		}
+	}
+	if rep.Skipped() != 0 {
+		t.Errorf("Skipped() = %d, want 0", rep.Skipped())
+	}
+}
+
+func TestCheckDeadlineTruncatesHonestly(t *testing.T) {
+	// A sweep whose first point exhausts the budget: the report must show
+	// the skipped points and the claim must judge only the produced rows
+	// (here: too few to fit, so it fails rather than passing on garbage).
+	reg := &harness.Registry{}
+	reg.MustRegister(harness.SweepSpec{Name: "syn/slow", Points: 4,
+		Point: func(i int, env *harness.Env) []harness.Row {
+			time.Sleep(80 * time.Millisecond)
+			n := float64(int(256) << uint(2*i))
+			return harness.One(n, 7*n)
+		}})
+	claims := []Claim{{ID: "syn/slow-linear", Kind: Exponent, Sweep: "syn/slow", Col: 1, Want: 1.0, Tol: 0.1}}
+	rep, err := Check(harness.New(1, harness.WithWorkers(1)), reg, claims, Options{Deadline: 40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped() == 0 {
+		t.Fatalf("deadline skipped nothing: %+v", rep.Sweeps)
+	}
+	if got := rep.Sweeps[0].Rows + rep.Sweeps[0].Skipped; got != 4 {
+		t.Errorf("rows+skipped = %d, want 4", got)
+	}
+	if v := rep.Verdicts[0]; v.Points != rep.Sweeps[0].Rows {
+		t.Errorf("verdict evaluated %d points, sweep produced %d rows", v.Points, rep.Sweeps[0].Rows)
 	}
 }
 

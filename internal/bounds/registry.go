@@ -87,6 +87,13 @@ func Registry() []Claim {
 		Claim{ID: "sec-iv-c/zorder-scan-energy-optimal", Source: "Sec. IV-C / Lemma IV.3", Primitive: "scan", Metric: Derived,
 			Stated: "Theta(n): within a constant of the sequential scan", Kind: ValueBounded, Sweep: "bounds/scan-ablation",
 			Col: 1, Den: 3, Lo: 1.0, Hi: 3.5},
+		// Large-n tail: unlike the sorting comparison there is no
+		// constants-vs-asymptotics tension here — the Z-order scan beats
+		// the [38]-style binary-tree scan outright at every size, and the
+		// full sweeps now pin that ordering beyond n = 65 536 up to 2^20.
+		Claim{ID: "sec-iv-c/zorder-dominates-tree-scan", Source: "Sec. IV-C / Fig. 1", Primitive: "scan", Metric: Derived,
+			Stated: "Theta(n) < tree scan's Theta(n log n) at every measured size", Kind: Dominates, Sweep: "bounds/scan-ablation",
+			Col: 1, Den: 2},
 	)
 
 	// --- Sorting comparison (Fig. 2, Lemmas V.3/V.4, Thm V.8).
@@ -106,6 +113,13 @@ func Registry() []Claim {
 		Claim{ID: "sec-ii-b/mesh-depth-polynomial", Source: "Sec. II-B", Primitive: "sort-mesh", Metric: Depth,
 			Stated: "Theta(sqrt n log n): polynomial, not polylog", Kind: Polynomial, Sweep: "bounds/sort-ablation",
 			Col: 6},
+		// Large-n tail: the mesh sort's smaller constants keep it ahead of
+		// the energy-optimal mergesort through the measured range (now up
+		// to n = 65 536); the mergesort's slower Theta(n^1.5) growth wins
+		// beyond the fitted crossover (~2^19 by the full-sweep fits).
+		Claim{ID: "fig2/mesh-vs-mergesort-crossover", Source: "Fig. 2 / Sec. II-B", Primitive: "sort", Metric: Derived,
+			Stated: "mergesort overtakes the mesh sort only beyond the measured range", Kind: CrossoverBeyond, Sweep: "bounds/sort-ablation",
+			Col: 1, Den: 3},
 	)
 
 	// --- Lemma V.1 / Cor. V.2: the permutation lower bound and sorting's
@@ -145,6 +159,15 @@ func Registry() []Claim {
 			Stated: "Theta(n) on a path", Kind: Exponent, Sweep: "bounds/treefix", Col: 1, Want: 1.0, Tol: 0.15},
 		Claim{ID: "sec-ii-a/treefix-balanced-linear", Source: "Sec. II-A vs [38]", Primitive: "treefix", Metric: Energy,
 			Stated: "Theta(n) on a balanced tree", Kind: Exponent, Sweep: "bounds/treefix", Col: 2, Want: 1.0, Tol: 0.15},
+		// Large-n tail: the Euler tour doubles the scanned elements, so the
+		// [38]-style binary-tree scan baseline stays ahead on constants
+		// through the measured range (up to 2^20) while the treefix's
+		// Theta(n) growth closes the Theta(log n) gap; the fitted power
+		// laws cross only beyond the sweep (~2^24-2^25 by the full fits;
+		// EXPERIMENTS.md tracks the measured ratio).
+		Claim{ID: "sec-ii-a/treefix-vs-tree-scan-crossover", Source: "Sec. II-A vs [38]", Primitive: "treefix", Metric: Derived,
+			Stated: "treefix overtakes the tree-scan baseline only beyond the measured range", Kind: CrossoverBeyond, Sweep: "bounds/treefix",
+			Col: 1, Den: 3},
 	)
 
 	// --- Theorem VIII.2: the direct SpMV beats the PRAM simulation on

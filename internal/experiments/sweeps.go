@@ -73,6 +73,31 @@ const (
 	ColDistance = 3
 )
 
+// pick selects the quick or full point list for sweeps whose two modes
+// are maintained as explicit lists rather than via sizes()'s drop-last
+// rule. Points are seeded per (sweep name, index), so the full list must
+// extend the quick list — never reorder it — to keep quick-mode rows
+// byte-identical between modes.
+func pick(quick bool, quickNs, fullNs []int) []int {
+	if quick {
+		return quickNs
+	}
+	return fullNs
+}
+
+// Point-cost proxies for scheduler hints and weighted ETA: roughly the
+// simulated message count of one point, which tracks wall-clock far
+// better than "one point = one unit" once full sweeps span 256…2²⁰.
+func costLinear(n int) float64    { return float64(n) }
+func costNLogN(n int) float64     { return float64(n) * log2f(n) }
+func costNSqrtN(n int) float64    { return float64(n) * sqrtf(n) }
+func costQuadratic(n int) float64 { return float64(n) * float64(n) }
+
+// costOf adapts an n-indexed cost proxy to a SweepSpec.Cost.
+func costOf(ns []int, f func(n int) float64) func(i int) float64 {
+	return func(i int) float64 { return f(ns[i]) }
+}
+
 // BoundSweeps builds the named-sweep registry the conformance checker
 // runs. Every sweep emits rows whose first cell is the problem size n;
 // the remaining columns are documented per sweep. Sweep names are stable
@@ -81,27 +106,35 @@ const (
 func BoundSweeps(quick bool) *harness.Registry {
 	reg := &harness.Registry{}
 
-	metric := func(name string, ns []int, measure func(n int, env *harness.Env) machine.Metrics) {
+	metric := func(name string, ns []int, cost func(n int) float64, measure func(n int, env *harness.Env) machine.Metrics) {
 		reg.MustRegister(harness.SweepSpec{
 			Name:   name,
 			Points: len(ns),
+			Cost:   costOf(ns, cost),
 			Point: func(i int, env *harness.Env) []harness.Row {
 				return metricsRow(ns[i], measure(ns[i], env))
 			},
 		})
 	}
 
-	// Table I primitives: rows {n, energy, depth, distance}.
-	metric("bounds/scan", sizes(quick, 256, 1024, 4096, 16384, 65536), MeasureScan)
-	metric("bounds/sort", sizes(quick, 256, 1024, 4096, 16384), MeasureSort)
-	metric("bounds/selection", sizes(quick, 256, 1024, 4096, 16384, 65536), MeasureSelection)
-	metric("bounds/spmv", sizes(quick, 256, 1024, 4096, 16384), MeasureSpMV)
+	// Table I primitives: rows {n, energy, depth, distance}. The scan
+	// family reaches n = 2²⁰ in full mode; the sort family stops at 2¹⁶
+	// because its Θ(n^1.5) message volume makes 2²⁰ points hour-scale.
+	metric("bounds/scan",
+		pick(quick, []int{256, 1024, 4096, 16384}, []int{256, 1024, 4096, 16384, 65536, 262144, 1048576}),
+		costNLogN, MeasureScan)
+	metric("bounds/sort",
+		pick(quick, []int{256, 1024, 4096}, []int{256, 1024, 4096, 16384, 65536}),
+		costNSqrtN, MeasureSort)
+	metric("bounds/selection", sizes(quick, 256, 1024, 4096, 16384, 65536), costNSqrtN, MeasureSelection)
+	metric("bounds/spmv", sizes(quick, 256, 1024, 4096, 16384), costNSqrtN, MeasureSpMV)
 
 	// Scan design space (Sec. IV-C): rows {n, zorderE, treeE, seqE}.
-	scanNs := sizes(quick, 256, 1024, 4096, 16384, 65536)
+	scanNs := pick(quick, []int{256, 1024, 4096, 16384}, []int{256, 1024, 4096, 16384, 65536, 262144, 1048576})
 	reg.MustRegister(harness.SweepSpec{
 		Name:   "bounds/scan-ablation",
 		Points: len(scanNs),
+		Cost:   costOf(scanNs, costNLogN),
 		Point: func(i int, env *harness.Env) []harness.Row {
 			n := scanNs[i]
 			vals := workload.Array(workload.Random, n, env.Rng)
@@ -129,6 +162,7 @@ func BoundSweeps(quick bool) *harness.Registry {
 	reg.MustRegister(harness.SweepSpec{
 		Name:   "bounds/reduce-ablation",
 		Points: len(sides),
+		Cost:   func(i int) float64 { return costLinear(sides[i] * sides[i]) },
 		Point: func(i int, env *harness.Env) []harness.Row {
 			side := sides[i]
 			r := grid.Square(machine.Coord{}, side)
@@ -146,10 +180,11 @@ func BoundSweeps(quick bool) *harness.Registry {
 
 	// Sorting comparison (Fig. 2): rows {n, mergeE, bitonicE, meshE,
 	// mergeD, bitonicD, meshD}.
-	sortNs := sizes(quick, 256, 1024, 4096, 16384)
+	sortNs := pick(quick, []int{256, 1024, 4096}, []int{256, 1024, 4096, 16384, 65536})
 	reg.MustRegister(harness.SweepSpec{
 		Name:   "bounds/sort-ablation",
 		Points: len(sortNs),
+		Cost:   costOf(sortNs, costNSqrtN),
 		Point: func(i int, env *harness.Env) []harness.Row {
 			n := sortNs[i]
 			vals := workload.Array(workload.Random, n, env.Rng)
@@ -182,6 +217,7 @@ func BoundSweeps(quick bool) *harness.Registry {
 	reg.MustRegister(harness.SweepSpec{
 		Name:   "bounds/collectives",
 		Points: len(shapes),
+		Cost:   func(i int) float64 { return costLinear(shapes[i][0] * shapes[i][1]) },
 		Point: func(i int, env *harness.Env) []harness.Row {
 			h, w := shapes[i][0], shapes[i][1]
 			r := grid.Rect{Origin: machine.Coord{}, H: h, W: w}
@@ -204,6 +240,7 @@ func BoundSweeps(quick bool) *harness.Registry {
 	reg.MustRegister(harness.SweepSpec{
 		Name:   "bounds/lowerbound",
 		Points: len(lbNs),
+		Cost:   costOf(lbNs, costNSqrtN),
 		Point: func(i int, env *harness.Env) []harness.Row {
 			n := lbNs[i]
 			perm := workload.Permutation(workload.PermReversal, n, env.Rng)
@@ -229,6 +266,7 @@ func BoundSweeps(quick bool) *harness.Registry {
 	reg.MustRegister(harness.SweepSpec{
 		Name:   "bounds/all-pairs",
 		Points: len(apNs),
+		Cost:   costOf(apNs, costQuadratic),
 		Point: func(i int, env *harness.Env) []harness.Row {
 			n := apNs[i]
 			vals := workload.Array(workload.Random, n, env.Rng)
@@ -246,6 +284,7 @@ func BoundSweeps(quick bool) *harness.Registry {
 	reg.MustRegister(harness.SweepSpec{
 		Name:   "bounds/rank-select",
 		Points: len(rsNs),
+		Cost:   costOf(rsNs, costNSqrtN),
 		Point: func(i int, env *harness.Env) []harness.Row {
 			n := rsNs[i]
 			half := n / 2
@@ -268,6 +307,7 @@ func BoundSweeps(quick bool) *harness.Registry {
 	reg.MustRegister(harness.SweepSpec{
 		Name:   "bounds/merge",
 		Points: len(mgNs),
+		Cost:   costOf(mgNs, costNSqrtN),
 		Point: func(i int, env *harness.Env) []harness.Row {
 			n := mgNs[i]
 			quarter := n / 2
@@ -291,6 +331,7 @@ func BoundSweeps(quick bool) *harness.Registry {
 	reg.MustRegister(harness.SweepSpec{
 		Name:   "bounds/selection-vs-sort",
 		Points: len(selNs),
+		Cost:   costOf(selNs, costNSqrtN),
 		Point: func(i int, env *harness.Env) []harness.Row {
 			n := selNs[i]
 			sel := MeasureSelection(n, env)
@@ -299,11 +340,15 @@ func BoundSweeps(quick bool) *harness.Registry {
 		},
 	})
 
-	// Treefix sums (Sec. II-A): rows {n, pathE, balancedE}.
-	tfNs := sizes(quick, 1024, 4096, 16384, 65536)
+	// Treefix sums (Sec. II-A): rows {n, pathE, balancedE, scanE} where
+	// scanE is the flat tree-scan (ScanTrack) on the same n values — the
+	// baseline the treefix crossover claim compares the worst-case path
+	// tree against.
+	tfNs := pick(quick, []int{1024, 4096, 16384}, []int{1024, 4096, 16384, 65536, 262144, 1048576})
 	reg.MustRegister(harness.SweepSpec{
 		Name:   "bounds/treefix",
 		Points: len(tfNs),
+		Cost:   costOf(tfNs, costNSqrtN),
 		Point: func(i int, env *harness.Env) []harness.Row {
 			n := tfNs[i]
 			ones := make([]float64, n)
@@ -319,7 +364,12 @@ func BoundSweeps(quick bool) *harness.Registry {
 			}
 			pathM := run(tree.Path(n))
 			balM := run(tree.Balanced(n))
-			return harness.One(n, float64(pathM.Energy), float64(balM.Energy))
+			scanM := env.Measure(func(m *machine.Machine) {
+				r := grid.SquareFor(machine.Coord{}, n)
+				placeFloats(m, grid.RowMajor(r), "v", ones, 0)
+				collectives.ScanTrack(m, grid.RowMajor(r), "v", collectives.Add, 0.0)
+			})
+			return harness.One(n, float64(pathM.Energy), float64(balM.Energy), float64(scanM.Energy))
 		},
 	})
 
@@ -329,6 +379,7 @@ func BoundSweeps(quick bool) *harness.Registry {
 	reg.MustRegister(harness.SweepSpec{
 		Name:   "bounds/spmv-vs-pram",
 		Points: len(vsNs),
+		Cost:   costOf(vsNs, costQuadratic),
 		Point: func(i int, env *harness.Env) []harness.Row {
 			n := vsNs[i]
 			a := workload.SparseMatrix(workload.MatUniform, n, 4*n, env.Rng)

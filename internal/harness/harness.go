@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/machine"
 	"repro/internal/trace"
@@ -151,6 +152,30 @@ func WithProgress(f func(done, total int)) Option {
 	return func(r *Runner) { r.progress = f }
 }
 
+// WithWeightedProgress is WithProgress with cost weighting: the callback
+// additionally receives the summed cost hints (see WithPointCost) of the
+// finished and enqueued points. On sweeps whose point costs span orders
+// of magnitude — the large-n conformance tail — the cost fraction is the
+// honest completion estimate, where the raw point count would report a
+// sweep "90% done" while the 2^20 point is still running. Points without
+// a cost hint count as cost 1.
+func WithWeightedProgress(f func(done, total int, doneCost, totalCost float64)) Option {
+	return func(r *Runner) { r.weighted = f }
+}
+
+// WithLargestFirst makes the workers pick the pending point with the
+// highest cost hint first (ties and unhinted points keep enqueue order).
+// Sweeps enumerate problem sizes in increasing order, so under FIFO the
+// most expensive points start *last* and the end of a run serializes on
+// one worker grinding a multi-minute large-n point while the rest of the
+// pool idles. Starting the heavy points first (longest-processing-time
+// scheduling) overlaps them with the swarm of cheap points. Results are
+// unaffected: rows are collected by point index and every point's RNG is
+// derived from (seed, sweep, index), not from execution order.
+func WithLargestFirst() Option {
+	return func(r *Runner) { r.largestFirst = true }
+}
+
 // WithSink attaches a trace sink to every machine the runner leases out;
 // the sink observes the messages of every point on every worker. With more
 // than one worker the workers feed it concurrently, so pass a sink wrapped
@@ -177,20 +202,24 @@ func WithCriticalPathCheck() Option {
 // order. A Runner is safe for use from one coordinating goroutine; points
 // run on internal workers.
 type Runner struct {
-	workers  int
-	seed     int64
-	progress func(done, total int)
-	sink     trace.Sink
-	cpCheck  bool
+	workers      int
+	seed         int64
+	progress     func(done, total int)
+	weighted     func(done, total int, doneCost, totalCost float64)
+	sink         trace.Sink
+	cpCheck      bool
+	largestFirst bool
 
 	pool sync.Pool // *machine.Machine, recycled via Reset
 
-	mu      sync.Mutex
-	queue   []task
-	head    int
-	running int
-	done    int
-	total   int
+	mu        sync.Mutex
+	queue     []task
+	head      int
+	running   int
+	done      int
+	total     int
+	doneCost  float64
+	totalCost float64
 
 	progressMu sync.Mutex
 }
@@ -213,14 +242,17 @@ func (r *Runner) Workers() int { return r.workers }
 
 // Sweep is a handle to an in-flight sweep; Rows blocks for its results.
 type Sweep struct {
-	name  string
-	point PointFunc
-	cong  bool
-	rows  [][]Row
-	wg    sync.WaitGroup
+	name     string
+	point    PointFunc
+	cong     bool
+	cost     func(i int) float64
+	deadline time.Time
+	rows     [][]Row
+	wg       sync.WaitGroup
 
-	mu  sync.Mutex
-	pan *PointPanic
+	mu      sync.Mutex
+	pan     *PointPanic
+	skipped int
 }
 
 // SweepOption configures one sweep.
@@ -231,6 +263,42 @@ type SweepOption func(*Sweep)
 // the shared pool.
 func WithCongestion() SweepOption {
 	return func(s *Sweep) { s.cong = true }
+}
+
+// WithPointCost attaches a relative cost hint to each point of the sweep
+// (any monotone proxy for its expected wall-clock, e.g. n^1.5 for a
+// sorting sweep). Costs drive WithLargestFirst scheduling and the
+// doneCost/totalCost arguments of WithWeightedProgress; they never affect
+// results. Without a hint every point costs 1.
+func WithPointCost(f func(i int) float64) SweepOption {
+	return func(s *Sweep) { s.cost = f }
+}
+
+// WithDeadline gives the sweep a wall-clock budget counted from enqueue.
+// Points that have not *started* when the budget expires are skipped —
+// they produce no rows and are counted by Skipped — so one oversized
+// large-n tail cannot pin the whole run past its budget. Points already
+// running are never interrupted (the simulator is not preemptible), so a
+// run can overshoot the budget by at most its longest single point.
+// Combine with WithLargestFirst so the heavy points start early rather
+// than being the ones skipped. A truncated sweep is still deterministic
+// in the rows it does produce (per-point RNGs), but *which* points run
+// depends on machine speed — deadlines are a safety valve for scheduled
+// runs, not for recorded-measurement reproduction.
+func WithDeadline(d time.Duration) SweepOption {
+	return func(s *Sweep) {
+		if d > 0 {
+			s.deadline = time.Now().Add(d)
+		}
+	}
+}
+
+// Skipped reports how many points were dropped by the sweep's deadline.
+// Call it after Rows (it is racy while points are still in flight).
+func (s *Sweep) Skipped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skipped
 }
 
 // PointPanic is the panic value re-raised by Rows when a point panicked on
@@ -257,7 +325,12 @@ func (r *Runner) Go(name string, n int, point PointFunc, opts ...SweepOption) *S
 	s.wg.Add(n)
 	r.mu.Lock()
 	for i := 0; i < n; i++ {
-		r.queue = append(r.queue, task{s: s, idx: i})
+		c := 1.0
+		if s.cost != nil {
+			c = s.cost(i)
+		}
+		r.queue = append(r.queue, task{s: s, idx: i, cost: c})
+		r.totalCost += c
 	}
 	r.total += n
 	// Workers park themselves when the queue drains; top the pool back up
@@ -291,8 +364,9 @@ func (s *Sweep) Rows() []Row {
 }
 
 type task struct {
-	s   *Sweep
-	idx int
+	s    *Sweep
+	idx  int
+	cost float64
 }
 
 func (r *Runner) work() {
@@ -305,18 +379,36 @@ func (r *Runner) work() {
 			r.mu.Unlock()
 			return
 		}
+		if r.largestFirst {
+			// Longest-processing-time scheduling: swap the costliest pending
+			// task to the head. O(pending) per pop against queues of at most
+			// a few hundred points; ties keep enqueue (FIFO) order.
+			best := r.head
+			for i := r.head + 1; i < len(r.queue); i++ {
+				if r.queue[i].cost > r.queue[best].cost {
+					best = i
+				}
+			}
+			r.queue[r.head], r.queue[best] = r.queue[best], r.queue[r.head]
+		}
 		t := r.queue[r.head]
 		r.queue[r.head] = task{}
 		r.head++
 		r.mu.Unlock()
 		t.run(r)
-		r.tick()
+		r.tick(t.cost)
 	}
 }
 
 func (t task) run(r *Runner) {
 	s := t.s
 	defer s.wg.Done()
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		s.mu.Lock()
+		s.skipped++
+		s.mu.Unlock()
+		return
+	}
 	env := &Env{Rng: rand.New(rand.NewSource(pointSeed(r.seed, s.name, t.idx))), r: r, cong: s.cong}
 	defer env.release()
 	defer func() {
@@ -335,15 +427,22 @@ func (t task) run(r *Runner) {
 	env.verify()
 }
 
-func (r *Runner) tick() {
+func (r *Runner) tick(cost float64) {
 	r.mu.Lock()
 	r.done++
+	r.doneCost += cost
 	done, total := r.done, r.total
-	f := r.progress
+	doneCost, totalCost := r.doneCost, r.totalCost
+	f, w := r.progress, r.weighted
 	r.mu.Unlock()
-	if f != nil {
+	if f != nil || w != nil {
 		r.progressMu.Lock()
-		f(done, total)
+		if f != nil {
+			f(done, total)
+		}
+		if w != nil {
+			w(done, total, doneCost, totalCost)
+		}
 		r.progressMu.Unlock()
 	}
 }

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // SweepSpec is a named, registrable sweep definition: everything Runner.Go
@@ -16,6 +17,11 @@ type SweepSpec struct {
 	Points int
 	// Point computes one sweep point (see PointFunc).
 	Point PointFunc
+	// Cost, when non-nil, estimates point i's relative wall-clock (any
+	// monotone proxy, e.g. the expected message count). It feeds
+	// WithLargestFirst scheduling and weighted progress/ETA reporting;
+	// it never affects measurements.
+	Cost func(i int) float64
 	// Opts are the sweep options applied on every run (e.g. WithCongestion).
 	Opts []SweepOption
 }
@@ -77,6 +83,7 @@ type RunOption func(*runCfg)
 
 type runCfg struct {
 	maxPoints int
+	deadline  time.Duration
 }
 
 // MaxPoints caps the number of points run, keeping the first k (sweeps
@@ -84,6 +91,13 @@ type runCfg struct {
 // expensive tail points). k <= 0 or k beyond the spec's count means "all".
 func MaxPoints(k int) RunOption {
 	return func(c *runCfg) { c.maxPoints = k }
+}
+
+// Deadline gives the invocation a per-sweep wall-clock budget (see
+// WithDeadline): points not started when it expires are skipped. d <= 0
+// means no budget.
+func Deadline(d time.Duration) RunOption {
+	return func(c *runCfg) { c.deadline = d }
 }
 
 // Go enqueues the named sweep on r and returns its handle, or an error for
@@ -103,7 +117,14 @@ func (g *Registry) Go(r *Runner, name string, opts ...RunOption) (*Sweep, error)
 	if cfg.maxPoints > 0 && cfg.maxPoints < n {
 		n = cfg.maxPoints
 	}
-	return r.Go(spec.Name, n, spec.Point, spec.Opts...), nil
+	sweepOpts := spec.Opts
+	if spec.Cost != nil {
+		sweepOpts = append(sweepOpts[:len(sweepOpts):len(sweepOpts)], WithPointCost(spec.Cost))
+	}
+	if cfg.deadline > 0 {
+		sweepOpts = append(sweepOpts[:len(sweepOpts):len(sweepOpts)], WithDeadline(cfg.deadline))
+	}
+	return r.Go(spec.Name, n, spec.Point, sweepOpts...), nil
 }
 
 // Run is Go followed by Rows: it executes the named sweep to completion

@@ -57,14 +57,31 @@ func (t Tree) Validate() error {
 	if root < 0 {
 		return fmt.Errorf("tree: no root")
 	}
-	// Every node must reach the root (no cycles).
+	// Every node must reach the root (no cycles). Walks stop at any node
+	// already proven good, so the whole check is O(n) even on path-shaped
+	// trees (a per-node walk to the root is quadratic there, which at the
+	// large-n tail of the sweeps means 2^40 steps).
+	const (
+		unknown = iota
+		onPath
+		ok
+	)
+	state := make([]uint8, n)
+	state[root] = ok
+	var path []int
 	for v := range t.Parent {
-		seen := 0
-		for u := v; u != t.Parent[u]; u = t.Parent[u] {
-			seen++
-			if seen > n {
-				return fmt.Errorf("tree: cycle reachable from node %d", v)
-			}
+		path = path[:0]
+		u := v
+		for state[u] == unknown {
+			state[u] = onPath
+			path = append(path, u)
+			u = t.Parent[u]
+		}
+		if state[u] == onPath {
+			return fmt.Errorf("tree: cycle reachable from node %d", v)
+		}
+		for _, w := range path {
+			state[w] = ok
 		}
 	}
 	return nil
