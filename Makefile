@@ -32,8 +32,10 @@ staticcheck:
 # conformance machine-checks every registered Θ/O claim against fresh
 # sweeps (internal/bounds); non-zero exit means a bound no longer holds.
 # QUICK=1 runs the smaller sweeps (~10 s, the CI gate); the default full
-# sweeps reach n = 2²⁰ and take a few minutes single-core. JSON=1 emits
-# structured verdicts on stdout.
+# sweeps — sort-family included — reach n = 2²⁰ and take a few minutes
+# single-core (boundcheck defaults to shard-parallel rounds and the batched
+# counting-only send path; rows are byte-identical to the sequential
+# engine's). JSON=1 emits structured verdicts on stdout.
 conformance:
 	@$(GO) run ./cmd/boundcheck $(if $(QUICK),-quick,-full) $(if $(JSON),-json)
 
@@ -53,12 +55,14 @@ conformance-full:
 experiments-refresh:
 	$(GO) run ./cmd/boundcheck -full -json
 
-# bench reruns the simulator micro-benchmarks plus the end-to-end Table I
-# sort and rewrites BENCH_machine.json. The recorded seed_baseline object
-# (the pre-optimization numbers) is preserved across rewrites.
+# bench reruns the simulator micro-benchmarks plus two end-to-end
+# measurements — the Table I sort and the MeshSortPoint value/counting pair
+# (whose ns/op ratio records the single-measurement speedup of the batched
+# send API) — and rewrites BENCH_machine.json. The recorded seed_baseline
+# object (the pre-optimization numbers) is preserved across rewrites.
 bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkMachine' -benchmem ./internal/machine/; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkTable1Sort' -benchtime 1x . ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkTable1Sort|BenchmarkMeshSortPoint' -benchtime 1x . ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_machine.json
 	@echo wrote BENCH_machine.json
 

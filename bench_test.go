@@ -125,6 +125,36 @@ func BenchmarkTable1SpMV(b *testing.B) {
 	}
 }
 
+// BenchmarkMeshSortPoint measures one full-mode sort-sweep measurement — a
+// 65536-element Shearsort point — through the machine's two send APIs:
+// "value" carries register payloads through per-level batched rounds,
+// "counting" takes the counting-only fast path a sink-free batched machine
+// allows (payloads host-side, identical Energy/Depth/Distance/Messages).
+// The ratio of the two recorded ns/op is the single-measurement speedup of
+// the batched-send redesign; `make bench` records both in
+// BENCH_machine.json so bench-compare tracks them.
+func BenchmarkMeshSortPoint(b *testing.B) {
+	const n = 65536
+	rng := rand.New(rand.NewSource(5))
+	vals := workload.Array(workload.Random, n, rng)
+	for _, mode := range []struct {
+		name  string
+		batch bool
+	}{{"value", false}, {"counting", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := machine.New()
+			m.SetBatchSends(mode.batch)
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				r := grid.SquareFor(machine.Coord{}, n)
+				placeBench(m, grid.RowMajor(r), vals)
+				sortnet.Shearsort(m, r, "v", order.Float64)
+			}
+			report(b, m)
+		})
+	}
+}
+
 // BenchmarkBroadcast — Lemma IV.1 on square and elongated subgrids.
 func BenchmarkBroadcast(b *testing.B) {
 	for _, sh := range [][2]int{{64, 64}, {4096, 1}, {256, 16}} {

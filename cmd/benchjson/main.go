@@ -13,8 +13,12 @@
 // -match is checked, and the command exits 1 if any ns_per_op regresses by
 // more than -tol (fractional, default 0.20) or any allocs_per_op grows
 // beyond the same fractional tolerance — a zero-alloc baseline therefore
-// fails on the first allocation. This is the `make bench-compare`
-// regression gate.
+// fails on the first allocation. Benchmarks reporting a "shards" metric
+// (b.ReportMetric(float64(shards), "shards")) additionally have the shard
+// count echoed in the comparison, and a run whose shard count differs from
+// the baseline's fails outright: timings at different parallelism are not
+// comparable, and a regression must not hide behind one. This is the
+// `make bench-compare` regression gate.
 //
 // Usage:
 //
@@ -100,10 +104,24 @@ func compareBenches(w io.Writer, cur, base map[string]map[string]float64, prefix
 			status = "ALLOCS"
 			allocNote = fmt.Sprintf(" [allocs %g -> %g]", baseA, curA)
 		}
+		// Benchmarks that exercise shard-parallel rounds report their shard
+		// count as a metric; a ns/op delta measured at a different shard
+		// count than the baseline is not a like-for-like comparison, so a
+		// mismatch fails rather than letting a regression (or a fake win)
+		// hide behind a parallelism change.
+		curS, baseS := cur[name]["shards"], b["shards"]
+		shardNote := ""
+		switch {
+		case curS == baseS && curS != 0:
+			shardNote = fmt.Sprintf(" [shards %g]", curS)
+		case curS != baseS:
+			status = "SHARDS"
+			shardNote = fmt.Sprintf(" [shards %g -> %g: not comparable]", baseS, curS)
+		}
 		if status != "ok" {
 			regressions++
 		}
-		fmt.Fprintf(w, "  %-8s %-44s %12.1f -> %10.1f ns/op (%+.1f%%)%s\n", status, name, baseNs, curNs, 100*delta, allocNote)
+		fmt.Fprintf(w, "  %-8s %-44s %12.1f -> %10.1f ns/op (%+.1f%%)%s%s\n", status, name, baseNs, curNs, 100*delta, allocNote, shardNote)
 	}
 	for name := range base {
 		if strings.HasPrefix(name, prefix) {

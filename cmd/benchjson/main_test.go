@@ -117,3 +117,47 @@ func TestCompareBenchesAllocs(t *testing.T) {
 		t.Errorf("regressions = %d, want 1 (single bench)\n%s", n, b.String())
 	}
 }
+
+// benchS builds a result carrying the reported shard-count metric.
+func benchS(ns, shards float64) map[string]float64 {
+	return map[string]float64{"ns_per_op": ns, "iterations": 1000, "shards": shards}
+}
+
+func TestCompareBenchesShards(t *testing.T) {
+	base := map[string]map[string]float64{
+		"BenchmarkShardedRound": benchS(100, 4),
+		"BenchmarkPlain":        bench(100),
+	}
+
+	// Same shard count: the count is echoed and the timing judged normally.
+	var b strings.Builder
+	cur := map[string]map[string]float64{
+		"BenchmarkShardedRound": benchS(110, 4),
+		"BenchmarkPlain":        bench(100),
+	}
+	if n := compareBenches(&b, cur, base, "Benchmark", 0.20); n != 0 {
+		t.Errorf("regressions = %d, want 0\n%s", n, b.String())
+	}
+	if !strings.Contains(b.String(), "[shards 4]") {
+		t.Errorf("report missing shard count:\n%s", b.String())
+	}
+
+	// A different shard count fails even when the timing "improved": the
+	// numbers are not comparable, so a regression could hide behind it.
+	b.Reset()
+	cur = map[string]map[string]float64{"BenchmarkShardedRound": benchS(40, 8)}
+	if n := compareBenches(&b, cur, base, "Benchmark", 0.20); n != 1 {
+		t.Errorf("regressions = %d, want 1 (shard mismatch)\n%s", n, b.String())
+	}
+	if !strings.Contains(b.String(), "SHARDS") || !strings.Contains(b.String(), "shards 4 -> 8") {
+		t.Errorf("report missing shard mismatch diagnostic:\n%s", b.String())
+	}
+
+	// A run that gained (or lost) the shards metric relative to its baseline
+	// is a mismatch too — the baseline must be regenerated deliberately.
+	b.Reset()
+	cur = map[string]map[string]float64{"BenchmarkPlain": benchS(100, 2)}
+	if n := compareBenches(&b, cur, base, "Benchmark", 0.20); n != 1 {
+		t.Errorf("regressions = %d, want 1 (metric appeared)\n%s", n, b.String())
+	}
+}

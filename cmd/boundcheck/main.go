@@ -12,7 +12,14 @@
 //	boundcheck -json           # structured verdicts on stdout
 //	boundcheck -run table1/    # only claims whose ID has this prefix
 //	boundcheck -timeout 9m     # per-sweep budget; unstarted points skipped
+//	boundcheck -shards 4       # shard-parallel rounds inside each machine
+//	boundcheck -batch=false    # disable the batched/counting-only fast path
 //	boundcheck -list           # list registered claims and exit
+//
+// -shards (default GOMAXPROCS) and -batch (default on) change wall-clock
+// only: sweep rows are byte-identical for any setting (see
+// internal/machine), and the settings used are recorded in the -json
+// document so artifacts are self-describing.
 //
 // Full runs report weighted progress and an ETA on stderr by default
 // (large-n points dominate the wall clock, so the estimate is cost-based,
@@ -59,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 		runFilter = fs.String("run", "", "only evaluate claims whose ID starts with this prefix")
 		seed      = fs.Int64("seed", 1, "random seed for workload generation")
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweep points")
+		shards    = fs.Int("shards", runtime.GOMAXPROCS(0), "intra-simulation shards per machine (1 = sequential rounds)")
+		batch     = fs.Bool("batch", true, "drive machines through the batched send API (counting-only fast path for data-oblivious sweeps)")
 		maxPoints = fs.Int("maxpoints", 0, "cap every sweep at its first k points (0 = no cap)")
 		timeout   = fs.Duration("timeout", 0, "per-sweep wall-clock budget; unstarted points are skipped (0 = none)")
 		progress  = fs.Bool("progress", false, "report completion and ETA on stderr (default true for full runs)")
@@ -108,8 +117,16 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 
 	// Largest-first scheduling: the 2²⁰ tail points start immediately and
 	// overlap the swarm of cheap points instead of serializing the pool at
-	// the end of the run. Row order and RNG seeding are unaffected.
+	// the end of the run. Row order and RNG seeding are unaffected — and so
+	// are the sweep rows under -shards/-batch (sharding and the counting
+	// fast path change wall-clock only; see internal/machine).
 	opts := []harness.Option{harness.WithWorkers(*parallel), harness.WithLargestFirst()}
+	if *shards > 1 {
+		opts = append(opts, harness.WithShards(*shards))
+	}
+	if *batch {
+		opts = append(opts, harness.WithBatchSends())
+	}
 	if *progress {
 		start := time.Now()
 		opts = append(opts, harness.WithWeightedProgress(func(done, total int, doneCost, totalCost float64) {
@@ -133,7 +150,7 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 	}
 
 	if *jsonOut {
-		if err := writeJSON(stdout, rep, *quick, *seed, *maxPoints); err != nil {
+		if err := writeJSON(stdout, rep, *quick, *seed, *maxPoints, *shards, *batch); err != nil {
 			fmt.Fprintf(stderr, "boundcheck: %v\n", err)
 			return 2
 		}
@@ -184,17 +201,19 @@ func fmtMeasure(f float64) string {
 	return fmt.Sprintf("%.4g", f)
 }
 
-func writeJSON(w io.Writer, rep bounds.Report, quick bool, seed int64, maxPoints int) error {
+func writeJSON(w io.Writer, rep bounds.Report, quick bool, seed int64, maxPoints, shards int, batch bool) error {
 	doc := struct {
 		Quick     bool               `json:"quick"`
 		Seed      int64              `json:"seed"`
 		MaxPoints int                `json:"maxpoints"`
+		Shards    int                `json:"shards"`
+		Batch     bool               `json:"batch"`
 		Claims    int                `json:"claims"`
 		Failures  int                `json:"failures"`
 		Sweeps    []bounds.SweepStat `json:"sweeps"`
 		Verdicts  []jsonVerdict      `json:"verdicts"`
-	}{Quick: quick, Seed: seed, MaxPoints: maxPoints, Claims: len(rep.Verdicts),
-		Failures: rep.Failures(), Sweeps: rep.Sweeps}
+	}{Quick: quick, Seed: seed, MaxPoints: maxPoints, Shards: shards, Batch: batch,
+		Claims: len(rep.Verdicts), Failures: rep.Failures(), Sweeps: rep.Sweeps}
 	for _, v := range rep.Verdicts {
 		jv := jsonVerdict{Verdict: v, Measured: fmtMeasure(v.Measured)}
 		if !math.IsNaN(v.R2) {

@@ -5,8 +5,11 @@
 //
 // Every experiment is decomposed into independent measurement points and
 // executed through internal/harness on a pool of recycled machines, so
-// sweeps use all cores by default. Output is byte-identical for any
-// -parallel value at a fixed -seed.
+// sweeps use all cores by default. Within each machine, -shards splits
+// every parallel round across worker goroutines and -batch drives the
+// machines through the batched send API (both on by default). Output is
+// byte-identical for any -parallel/-shards/-batch combination at a fixed
+// -seed; the knobs exist so regressions and speedups can be attributed.
 //
 // Usage:
 //
@@ -52,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut    = fs.Bool("json", false, "emit JSON tables instead of text")
 		seed       = fs.Int64("seed", 1, "random seed for workload generation")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweep points")
+		shards     = fs.Int("shards", runtime.GOMAXPROCS(0), "intra-simulation shards per machine (1 = sequential rounds; output is identical for any value)")
+		batch      = fs.Bool("batch", true, "drive machines through the batched send API (counting-only fast path for data-oblivious sweeps; output is identical)")
 		progress   = fs.Bool("progress", false, "report per-sweep point completion on stderr")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -114,6 +119,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := []harness.Option{harness.WithWorkers(*parallel)}
+	if *shards > 1 {
+		opts = append(opts, harness.WithShards(*shards))
+	}
+	if *batch {
+		opts = append(opts, harness.WithBatchSends())
+	}
 	if *progress {
 		opts = append(opts, harness.WithProgress(func(done, total int) {
 			fmt.Fprintf(stderr, "\r%d/%d points", done, total)

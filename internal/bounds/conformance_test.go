@@ -20,7 +20,11 @@ func TestConformanceQuick(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector makes the sweeps ~10x slower; CI runs make conformance separately")
 	}
-	r := harness.New(1, harness.WithWorkers(runtime.GOMAXPROCS(0)))
+	// Mirror boundcheck's defaults: shard-parallel rounds and the batched
+	// counting fast path. Rows are byte-identical either way (see
+	// internal/machine); the settings only buy wall-clock.
+	r := harness.New(1, harness.WithWorkers(runtime.GOMAXPROCS(0)),
+		harness.WithShards(runtime.GOMAXPROCS(0)), harness.WithBatchSends())
 	rep, err := Check(r, experiments.BoundSweeps(true), Registry(), Options{})
 	if err != nil {
 		t.Fatal(err)

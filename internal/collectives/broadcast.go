@@ -79,12 +79,20 @@ func Broadcast(m *machine.Machine, r grid.Rect, reg machine.Reg) {
 // region: the origin sends the value to the top-left corners of the other
 // quadrants, then each quadrant recurses. Odd sides split into uneven
 // halves. Energy recurrence E(w) = 3w/2 + O(1) + 4E(w/2+1) = O(w^2).
+//
+// The up-to-three corner sends of one recursion level are mutually
+// independent, so they go out as one batched round (metrics and trace
+// stream are identical to issuing them as singleton Sends — sends never
+// advance the sender's clock — but the round is eligible for sharding).
 func broadcast2D(m *machine.Machine, r grid.Rect, reg machine.Reg) {
-	for _, q := range halfQuadrants(r) {
-		if q.Origin != r.Origin {
-			m.Send(r.Origin, reg, q.Origin, reg)
+	v := m.Get(r.Origin, reg)
+	m.SendBatch(func(b *machine.Batch) {
+		for _, q := range halfQuadrants(r) {
+			if q.Origin != r.Origin {
+				b.Send(r.Origin, q.Origin, reg, v)
+			}
 		}
-	}
+	})
 	for _, q := range halfQuadrants(r) {
 		broadcast2D(m, q, reg)
 	}

@@ -63,8 +63,16 @@ func upsweep(m *machine.Machine, sub grid.Rect, k int, reg machine.Reg, op Op) {
 		upsweep(m, q[i], k-1, reg, op)
 	}
 	p := scanHolder(sub, k)
+	// The four child-root sums travel to p as one batched round: the sends
+	// originate at four distinct PEs and none depends on another, so the
+	// round is equivalent to four singleton Moves (and shard-eligible).
+	m.SendBatch(func(b *machine.Batch) {
+		for i := 0; i < 4; i++ {
+			b.Send(scanHolder(q[i], k-1), p, childReg(k, i), m.Get(scanHolder(q[i], k-1), sumReg(k-1)))
+		}
+	})
 	for i := 0; i < 4; i++ {
-		m.Move(scanHolder(q[i], k-1), sumReg(k-1), p, childReg(k, i))
+		m.Del(scanHolder(q[i], k-1), sumReg(k-1))
 	}
 	acc := m.Get(p, childReg(k, 0))
 	for i := 1; i < 4; i++ {
@@ -87,13 +95,22 @@ func downsweep(m *machine.Machine, sub grid.Rect, k int, reg machine.Reg, op Op)
 	}
 	m.Del(p, sumReg(k))
 	q := sub.Quadrants()
+	// The four prefix pushes all originate at p and are mutually
+	// independent, so they form one batched round; the exclusive prefixes
+	// are accumulated host-side first, exactly as the singleton sends did.
+	var xs [4]machine.Value
 	for i := 0; i < 4; i++ {
-		m.SendValue(p, scanHolder(q[i], k-1), downReg(k-1), x)
+		xs[i] = x
 		if i < 3 {
 			x = op(x, m.Get(p, childReg(k, i)))
 		}
 		m.Del(p, childReg(k, i))
 	}
+	m.SendBatch(func(b *machine.Batch) {
+		for i := 0; i < 4; i++ {
+			b.Send(p, scanHolder(q[i], k-1), downReg(k-1), xs[i])
+		}
+	})
 	for i := 0; i < 4; i++ {
 		downsweep(m, q[i], k-1, reg, op)
 	}

@@ -208,6 +208,38 @@ func BoundSweeps(quick bool) *harness.Registry {
 		},
 	})
 
+	// Large-n sorting-network tail (Lemma V.4 / Sec. II-B): rows {n,
+	// bitonicE, meshE, bitonicD, meshD}. A separate sweep rather than an
+	// extension of bounds/sort-ablation so the recorded small-n rows (and
+	// the crossover claims calibrated on them) stay byte-identical. Both
+	// sorters are data-oblivious, so under a batched-send runner
+	// (harness.WithBatchSends) the whole sweep runs on the machine's
+	// counting-only fast path — which is what makes the 2^20 points
+	// affordable inside the nightly budget; the mesh point at 2^20 alone is
+	// ~2.4*10^10 messages.
+	snNs := pick(quick, []int{1024, 4096, 16384}, []int{1024, 4096, 16384, 65536, 262144, 1048576})
+	reg.MustRegister(harness.SweepSpec{
+		Name:   "bounds/sortnet-large",
+		Points: len(snNs),
+		Cost:   costOf(snNs, func(n int) float64 { return costNSqrtN(n) * log2f(n) }),
+		Point: func(i int, env *harness.Env) []harness.Row {
+			n := snNs[i]
+			vals := workload.Array(workload.Random, n, env.Rng)
+			bs := env.Measure(func(m *machine.Machine) {
+				r := grid.SquareFor(machine.Coord{}, n)
+				placeFloats(m, grid.RowMajor(r), "v", vals, 0)
+				sortnet.Sort(m, grid.RowMajor(r), "v", n, order.Float64)
+			})
+			sh := env.Measure(func(m *machine.Machine) {
+				r := grid.SquareFor(machine.Coord{}, n)
+				placeFloats(m, grid.RowMajor(r), "v", vals, 0)
+				sortnet.Shearsort(m, r, "v", order.Float64)
+			})
+			return harness.One(n, float64(bs.Energy), float64(sh.Energy),
+				float64(bs.Depth), float64(sh.Depth))
+		},
+	})
+
 	// Collectives bound ratios (Lemma IV.1): rows {h*w, bcastE/bound,
 	// reduceE/bound} where bound = hw + max(h,w)·log(max(h,w)).
 	shapes := [][2]int{{32, 32}, {64, 64}, {128, 128}, {1024, 1}, {4096, 1}, {256, 16}, {16, 256}, {512, 8}}

@@ -73,6 +73,8 @@ func (e *Env) Machine() *machine.Machine {
 			sinks = append(sinks, e.r.sink)
 		}
 		e.m.SetSink(trace.Multi(sinks...))
+		e.m.SetShards(e.r.shards)
+		e.m.SetBatchSends(e.r.batchSends)
 	} else {
 		// A re-lease within a point ends the previous measurement: verify
 		// its critical paths before Reset discards the metrics.
@@ -127,6 +129,8 @@ func (e *Env) release() {
 	}
 	e.m.Reset()
 	e.m.SetSink(nil)
+	e.m.SetShards(1)
+	e.m.SetBatchSends(false)
 	e.r.pool.Put(e.m)
 	e.m = nil
 	e.cp = nil
@@ -185,6 +189,23 @@ func WithSink(s trace.Sink) Option {
 	return func(r *Runner) { r.sink = s }
 }
 
+// WithShards executes every leased machine's parallel rounds across k
+// shards (see machine.SetShards). Sharding changes wall-clock only: rows,
+// metrics and trace streams are byte-identical for every k. k <= 1 keeps
+// rounds sequential.
+func WithShards(k int) Option {
+	return func(r *Runner) { r.shards = k }
+}
+
+// WithBatchSends marks leased machines as driven through the batched send
+// API, enabling the counting-only fast path for data-oblivious algorithms
+// (see machine.CountingOnly). The fast path is automatically disabled on
+// machines that get a trace sink (WithSink, WithCriticalPathCheck), so
+// traced runs keep full register traffic.
+func WithBatchSends() Option {
+	return func(r *Runner) { r.batchSends = true }
+}
+
 // WithCriticalPathCheck makes every measurement self-verifying: each leased
 // machine records its event stream into a per-point trace.CriticalPath, and
 // at the end of every measurement the reconstructed depth and distance
@@ -209,6 +230,8 @@ type Runner struct {
 	sink         trace.Sink
 	cpCheck      bool
 	largestFirst bool
+	shards       int
+	batchSends   bool
 
 	pool sync.Pool // *machine.Machine, recycled via Reset
 

@@ -1,0 +1,306 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// batchWorkload drives m through a deterministic mix of batched rounds,
+// Par rounds, singleton sends, self-sends, register collisions and nested
+// Independent forks — every code path the sharded executor must reproduce
+// byte-identically. All sends go through Par/SendBatch so the same workload
+// runs on sequential and sharded machines alike.
+func batchWorkload(m *Machine, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	const side = 40
+	at := func(i int) Coord { return Coord{i / side, i % side} }
+	for i := 0; i < side*side; i++ {
+		m.Set(at(i), "v", float64(i))
+	}
+	// A few big rounds with collisions and self-sends.
+	for r := 0; r < 4; r++ {
+		m.SendBatch(func(b *Batch) {
+			for j := 0; j < 3000; j++ {
+				from := at(rng.Intn(side * side))
+				to := at(rng.Intn(side * side))
+				b.Send(from, to, "v", float64(j))
+			}
+		})
+	}
+	// Chained singletons between rounds so sender clocks differ.
+	for j := 0; j < 50; j++ {
+		m.Send(at(j), "v", at(j+1), "v")
+	}
+	// Independent branches containing rounds, with a nested fork.
+	m.Independent(
+		func() {
+			m.Par(func(send func(from, to Coord, dstReg Reg, v Value)) {
+				for j := 0; j < 2500; j++ {
+					send(at(j%700), at((j*13)%700), "a", float64(j))
+				}
+			})
+		},
+		func() {
+			m.Independent(
+				func() {
+					m.SendBatch(func(b *Batch) {
+						for j := 0; j < 2500; j++ {
+							b.Send(at(700+j%200), at(700+(j*7)%200), "b", float64(j))
+						}
+					})
+				},
+				func() { m.Send(at(900), "v", at(901), "v") },
+			)
+		},
+	)
+	// One more round so post-join clocks feed new messages.
+	m.Par(func(send func(from, to Coord, dstReg Reg, v Value)) {
+		for j := 0; j < 2500; j++ {
+			send(at(j%1000), at((j*31)%1000), "v", float64(j))
+		}
+	})
+}
+
+// snapshotState captures everything observable: metrics, per-PE clocks and
+// sorted register contents over the workload's region.
+func snapshotState(m *Machine) string {
+	out := fmt.Sprintf("%v touched=%d\n", m.Metrics(), m.TouchedPEs())
+	for row := 0; row < 40; row++ {
+		for col := 0; col < 40; col++ {
+			c := Coord{row, col}
+			d, x := m.Clock(c)
+			if d == 0 && x == 0 && m.peLookup(c) == nil {
+				continue
+			}
+			out += fmt.Sprintf("p(%d,%d) clk=%d/%d", row, col, d, x)
+			for _, r := range m.Registers(c) {
+				v, _ := m.Lookup(c, r)
+				out += fmt.Sprintf(" %s=%v", r, v)
+			}
+			out += "\n"
+		}
+	}
+	return out
+}
+
+// TestShardedMatchesSequential is the machine-level half of the tentpole's
+// byte-identical guarantee: the same workload on 1, 2, 4 and 7 shards (with
+// the fork threshold lowered so even small rounds shard) must yield
+// identical metrics, clocks and registers.
+func TestShardedMatchesSequential(t *testing.T) {
+	base := New()
+	batchWorkload(base, 42)
+	want := snapshotState(base)
+	for _, k := range []int{1, 2, 4, 7, 16} {
+		m := New()
+		m.SetShards(k)
+		m.shardMin = 1
+		batchWorkload(m, 42)
+		if got := snapshotState(m); got != want {
+			t.Fatalf("shards=%d diverged from sequential engine:\n got %.300s\nwant %.300s", k, got, want)
+		}
+	}
+}
+
+// TestShardedSurvivesReset checks the shard setting and results survive
+// machine pooling: run, Reset, run again sharded.
+func TestShardedSurvivesReset(t *testing.T) {
+	m := New()
+	m.SetShards(4)
+	m.shardMin = 1
+	batchWorkload(m, 7)
+	m.Reset()
+	if m.Shards() != 4 {
+		t.Fatalf("Shards() = %d after Reset, want 4", m.Shards())
+	}
+	batchWorkload(m, 9)
+	fresh := New()
+	batchWorkload(fresh, 9)
+	if got, want := snapshotState(m), snapshotState(fresh); got != want {
+		t.Fatalf("recycled sharded machine diverged from fresh sequential machine")
+	}
+}
+
+// TestShardedEventStream: with a sink attached the charge pass stays
+// sequential, so the event stream must be identical for every shard count.
+func TestShardedEventStream(t *testing.T) {
+	record := func(k int) []trace.Event {
+		var events []trace.Event
+		m := New()
+		m.SetSink(trace.SinkFunc(func(e *trace.Event) { events = append(events, *e) }))
+		if k > 1 {
+			m.SetShards(k)
+			m.shardMin = 1
+		}
+		batchWorkload(m, 3)
+		return events
+	}
+	want := record(1)
+	for _, k := range []int{2, 4} {
+		got := record(k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: event stream differs (len %d vs %d)", k, len(got), len(want))
+		}
+	}
+}
+
+// TestCountMatchesSend: a counting-only round must charge exactly like a
+// value round — energy, depth, distance, messages, clocks, touched PEs —
+// with only the register traffic (and hence PeakMemory) skipped.
+func TestCountMatchesSend(t *testing.T) {
+	for _, k := range []int{1, 4} {
+		val, cnt := New(), New()
+		if k > 1 {
+			val.SetShards(k)
+			val.shardMin = 1
+			cnt.SetShards(k)
+			cnt.shardMin = 1
+		}
+		for _, m := range []*Machine{val, cnt} {
+			for i := 0; i < 64; i++ {
+				m.Set(Coord{0, i}, "v", float64(i))
+			}
+		}
+		for r := 0; r < 3; r++ {
+			val.SendBatch(func(b *Batch) {
+				for i := 0; i < 63; i++ {
+					b.Send(Coord{0, i}, Coord{0, i + 1}, "in", float64(i))
+					b.Send(Coord{0, i + 1}, Coord{0, i}, "in", float64(i))
+				}
+			})
+			for i := 0; i < 64; i++ {
+				val.Del(Coord{0, i}, "in")
+			}
+			cnt.SendBatch(func(b *Batch) {
+				for i := 0; i < 63; i++ {
+					b.Count(Coord{0, i}, Coord{0, i + 1})
+					b.Count(Coord{0, i + 1}, Coord{0, i})
+				}
+			})
+		}
+		mv, mc := val.Metrics(), cnt.Metrics()
+		mv.PeakMemory, mc.PeakMemory = 0, 0
+		if mv != mc {
+			t.Fatalf("shards=%d: counting metrics %v != value metrics %v", k, mc, mv)
+		}
+		if val.TouchedPEs() != cnt.TouchedPEs() {
+			t.Fatalf("shards=%d: touched %d != %d", k, cnt.TouchedPEs(), val.TouchedPEs())
+		}
+		for i := 0; i < 64; i++ {
+			dv, xv := val.Clock(Coord{0, i})
+			dc, xc := cnt.Clock(Coord{0, i})
+			if dv != dc || xv != xc {
+				t.Fatalf("shards=%d: clock mismatch at %d: %d/%d vs %d/%d", k, i, dc, xc, dv, xv)
+			}
+		}
+		if cnt.Metrics().PeakMemory != 1 {
+			t.Fatalf("counting run materialized registers: peak %d", cnt.Metrics().PeakMemory)
+		}
+	}
+}
+
+// TestShardedMemoryLimit: the sharded engine must surface the same first
+// violation the sequential engine panics on (it finishes the round first, so
+// only the error value is compared).
+func TestShardedMemoryLimit(t *testing.T) {
+	run := func(shards int) (err MemoryLimitError) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = r.(MemoryLimitError)
+			}
+		}()
+		m := NewWithMemoryLimit(2)
+		m.SetShards(shards)
+		m.shardMin = 1
+		m.SendBatch(func(b *Batch) {
+			for i := 0; i < 100; i++ {
+				b.Send(Coord{1, 0}, Coord{0, i % 10}, Reg(fmt.Sprintf("r%d", i)), i)
+			}
+		})
+		return
+	}
+	want := run(1)
+	if want.Limit != 2 {
+		t.Fatalf("sequential run did not violate the limit: %+v", want)
+	}
+	for _, k := range []int{2, 4} {
+		if got := run(k); got != want {
+			t.Fatalf("shards=%d: violation %+v, want %+v", k, got, want)
+		}
+	}
+}
+
+// TestRoundMisuse covers the batch API's contract panics.
+func TestRoundMisuse(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	m := New()
+	expectPanic("nested Round", func() {
+		m.Round()
+		defer func() { m.batch.open = false }()
+		m.Round()
+	})
+	expectPanic("Send after Flush", func() {
+		b := m.Round()
+		b.Flush()
+		b.Send(Coord{0, 0}, Coord{0, 1}, "v", 1)
+	})
+	expectPanic("double Flush", func() {
+		b := m.Round()
+		b.Flush()
+		b.Flush()
+	})
+}
+
+// TestSharedSinkUnderShardParallelism is the -race coverage the sharding PR
+// promises: several goroutines, each driving its own sharded machine, all
+// stream into one Synchronized sink while delivery goroutines mutate PE
+// state concurrently. Run with -race this catches any escape of shard-local
+// state; the metrics must still match a sequential reference.
+func TestSharedSinkUnderShardParallelism(t *testing.T) {
+	var mu sync.Mutex
+	var events int
+	shared := trace.Synchronized(trace.SinkFunc(func(*trace.Event) {
+		mu.Lock()
+		events++
+		mu.Unlock()
+	}))
+	ref := New()
+	batchWorkload(ref, 11)
+	want := ref.Metrics()
+
+	var wg sync.WaitGroup
+	got := make([]Metrics, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := New()
+			m.SetShards(4)
+			m.shardMin = 1
+			m.SetSink(shared)
+			batchWorkload(m, 11)
+			got[w] = m.Metrics()
+		}(w)
+	}
+	wg.Wait()
+	for w, g := range got {
+		if g != want {
+			t.Fatalf("worker %d: metrics %v, want %v", w, g, want)
+		}
+	}
+	if events != int(want.Messages)*4 {
+		t.Fatalf("shared sink saw %d events, want %d", events, want.Messages*4)
+	}
+}

@@ -78,6 +78,96 @@ func BenchmarkMachinePar(b *testing.B) {
 	}
 }
 
+// BenchmarkMachineBatchRound measures a recorded round through the batch
+// API: record k messages, then one charge pass and one delivery pass.
+// Steady-state rounds must not allocate (the machine owns one reusable
+// batch buffer).
+func BenchmarkMachineBatchRound(b *testing.B) {
+	for _, k := range []int{16, 256} {
+		b.Run(fmt.Sprintf("msgs=%d", k), func(b *testing.B) {
+			m := New()
+			vals := make([]Value, k)
+			for i := 0; i < k; i++ {
+				m.Set(Coord{0, i}, "v", float64(i))
+				vals[i] = float64(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.SendBatch(func(bt *Batch) {
+					for j := 0; j < k; j++ {
+						bt.Send(Coord{0, j}, Coord{1, j}, "v", vals[j])
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkMachineCountRound measures the counting-only round: charged like
+// a full round but with no payload and no register delivery — the fast path
+// data-oblivious algorithms take when CountingOnly reports true.
+func BenchmarkMachineCountRound(b *testing.B) {
+	for _, k := range []int{16, 256} {
+		b.Run(fmt.Sprintf("msgs=%d", k), func(b *testing.B) {
+			m := New()
+			m.SetBatchSends(true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.SendBatch(func(bt *Batch) {
+					for j := 0; j < k; j++ {
+						bt.Count(Coord{0, j}, Coord{1, j})
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkMachineCountPair measures the fused compare-exchange primitive
+// sorting networks run level after level: two counting-only messages with
+// the tile lookups hoisted into pre-resolved handles.
+func BenchmarkMachineCountPair(b *testing.B) {
+	m := New()
+	m.SetBatchSends(true)
+	hs := make([]PEHandle, 64)
+	for i := range hs {
+		hs[i] = m.Handle(Coord{0, i})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.CountPair(hs[i%32], hs[i%32+32])
+	}
+}
+
+// BenchmarkMachineShardedRound measures one large batched round executed
+// across shards (fork, chunked charge, per-shard delivery, join). The shard
+// count is reported as a metric so bench-compare can refuse to diff runs
+// taken at different parallelism.
+func BenchmarkMachineShardedRound(b *testing.B) {
+	const k = 4096 // >= defaultShardMin, so the sharded path actually runs
+	const shards = 4
+	m := New()
+	m.SetShards(shards)
+	vals := make([]Value, k)
+	for i := 0; i < k; i++ {
+		m.Set(Coord{0, i}, "v", float64(i))
+		vals[i] = float64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SendBatch(func(bt *Batch) {
+			for j := 0; j < k; j++ {
+				bt.Send(Coord{0, j}, Coord{1, j}, "v", vals[j])
+			}
+		})
+	}
+	b.ReportMetric(float64(shards), "shards")
+}
+
 // BenchmarkMachineIndependent measures a two-branch fork relaying through a
 // shared PE (journal + rollback machinery).
 func BenchmarkMachineIndependent(b *testing.B) {

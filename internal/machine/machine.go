@@ -279,6 +279,22 @@ type Machine struct {
 	pendingBuf []delivery
 	parRound   uint64
 
+	// batch is the machine's reusable batched round (see batch.go); parSend
+	// is the bound Batch.Send method value Par forwards to when rounds run
+	// sharded, allocated once so Par stays allocation-free.
+	batch   Batch
+	parSend func(from, to Coord, dstReg Reg, v Value)
+	// batchSends marks the machine as driven through the batch API, enabling
+	// the counting-only fast path (see Batch.Count and CountingOnly).
+	batchSends bool
+
+	// shards partitions batched rounds of at least shardMin messages across
+	// that many goroutines (see shard.go); sh holds the executor's reusable
+	// buffers. Both settings survive Reset.
+	shards   int
+	shardMin int
+	sh       shardScratch
+
 	// cong, when non-nil, tracks per-link traffic (see congestion.go).
 	cong *congestion
 
@@ -292,10 +308,14 @@ type Machine struct {
 // New returns an empty machine with unlimited per-PE memory accounting
 // (peaks are still recorded).
 func New() *Machine {
-	return &Machine{
-		tiles:  make(map[Coord]*tile),
-		regIDs: make(map[string]regID, 8),
+	m := &Machine{
+		tiles:    make(map[Coord]*tile),
+		regIDs:   make(map[string]regID, 8),
+		shardMin: defaultShardMin,
 	}
+	m.batch.m = m
+	m.parSend = m.batch.Send
+	return m
 }
 
 // NewWithMemoryLimit returns a machine that panics if any PE ever holds more
@@ -449,9 +469,9 @@ func (m *Machine) ResetClocks() {
 // registers freed, all clocks and cost counters zeroed — while keeping the
 // allocated tiles, per-PE register slices, interning table and round buffers
 // for reuse. Sweeps run many sizes on one machine with Reset between points
-// instead of reallocating the grid each time. The memory limit, trace sink
-// and congestion-tracking setting survive (the phase annotation is
-// cleared); congestion link loads are cleared.
+// instead of reallocating the grid each time. The memory limit, trace sink,
+// congestion-tracking, shard-count and batched-send settings survive (the
+// phase annotation is cleared); congestion link loads are cleared.
 func (m *Machine) Reset() {
 	for _, t := range m.tiles {
 		if t.touched == 0 {
@@ -541,13 +561,20 @@ func (m *Machine) Has(c Coord, r Reg) bool {
 // dstReg of PE to, paying Manhattan-distance energy and extending the
 // dependent-message chain. A send from a PE to itself is free (it is local
 // computation).
+//
+// Send is the singleton, immediately-delivered form: a later Send from `to`
+// chains onto this one. For rounds of causally independent messages use the
+// batched form (Round/SendBatch, or Par), which amortizes per-message
+// overhead and is eligible for shard-parallel execution.
 func (m *Machine) Send(from Coord, srcReg Reg, to Coord, dstReg Reg) {
 	v := m.Get(from, srcReg)
 	m.SendValue(from, to, dstReg, v)
 }
 
 // SendValue transmits v, a value computed locally at from, into register
-// dstReg of to. The chain semantics are identical to Send.
+// dstReg of to. The chain semantics are identical to Send; like Send it is
+// the chain-extending singleton form — prefer Round/SendBatch for bulk
+// rounds of independent messages.
 func (m *Machine) SendValue(from, to Coord, dstReg Reg, v Value) {
 	if from == to {
 		m.Set(to, dstReg, v)
@@ -706,7 +733,18 @@ func (m *Machine) noteTouch(c Coord, p *pe) {
 // Deliveries are applied in issue order; if two messages target the same
 // register, the later one wins. The round callback must only issue sends —
 // it must not invoke Par or Independent itself.
+//
+// Par is the closure form of the round API; SendBatch/Round is the recorded
+// form. With sharding enabled (SetShards > 1) Par records the round into the
+// machine's batch and executes it through the shard-parallel path, with
+// byte-identical results.
 func (m *Machine) Par(round func(send func(from, to Coord, dstReg Reg, v Value))) {
+	if m.shards > 1 {
+		b := m.Round()
+		round(m.parSend)
+		b.Flush()
+		return
+	}
 	m.parRound++
 	gen := m.parRound
 	pending := m.pendingBuf[:0]

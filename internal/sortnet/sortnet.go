@@ -9,6 +9,17 @@
 // on a square subgrid, a Theta(log n) factor above the permutation lower
 // bound, because the recursion eventually degenerates into a 1-D algorithm
 // inside single rows.
+//
+// Execution goes through the machine's batched round API: each network
+// level is recorded as one round (two messages per comparator) and flushed,
+// which makes levels eligible for shard-parallel execution. Because the
+// communication pattern is oblivious to the values, the package also
+// supports the machine's counting-only fast path: when
+// machine.CountingOnly() reports true, values are kept host-side and each
+// comparator issues two Batch.Count messages instead of register traffic,
+// leaving Energy, Depth, Distance and Messages bit-identical. Large
+// networks stream their levels (see Levels) so a 2^20-wire bitonic network
+// never materializes its ~2*10^8 comparators at once.
 package sortnet
 
 import (
@@ -28,7 +39,9 @@ type Comparator struct {
 }
 
 // Network is a sorting (or merging) network: a sequence of levels, each a
-// set of disjoint comparators executed in parallel.
+// set of disjoint comparators executed in parallel. A materialized Network
+// is convenient for small sizes and tests; the runners work on the
+// streaming Levels form so large networks need not be materialized.
 type Network [][]Comparator
 
 // Depth returns the number of levels.
@@ -43,26 +56,65 @@ func (nw Network) Comparators() int {
 	return total
 }
 
+// Levels adapts the materialized network to the streaming form.
+func (nw Network) Levels() Levels {
+	return Levels{
+		Count: len(nw),
+		At: func(level int, buf []Comparator) []Comparator {
+			return append(buf[:0], nw[level]...)
+		},
+	}
+}
+
+// Levels is the streaming form of a sorting network: Count levels, each
+// generated on demand into a caller-provided buffer. At must be
+// deterministic; the runners reuse one buffer across levels, so the
+// returned slice is only valid until the next call.
+type Levels struct {
+	Count int
+	At    func(level int, buf []Comparator) []Comparator
+}
+
 // Bitonic returns Batcher's bitonic sorting network for n wires (n a power
-// of two): O(log^2 n) levels and O(n log^2 n) comparators.
+// of two): O(log^2 n) levels and O(n log^2 n) comparators. For large n
+// prefer BitonicLevels, which streams the same network without
+// materializing it.
 func Bitonic(n int) Network {
+	ls := BitonicLevels(n)
+	nw := make(Network, ls.Count)
+	for i := range nw {
+		nw[i] = ls.At(i, nil)
+	}
+	return nw
+}
+
+// BitonicLevels streams Batcher's bitonic sorting network for n wires (n a
+// power of two) level by level.
+func BitonicLevels(n int) Levels {
 	if !zorder.IsPow2(n) {
 		panic(fmt.Sprintf("sortnet: Bitonic requires power-of-two size, got %d", n))
 	}
-	var nw Network
+	type step struct{ k, j int }
+	var steps []step
 	for k := 2; k <= n; k <<= 1 {
 		for j := k >> 1; j > 0; j >>= 1 {
-			var level []Comparator
-			for i := 0; i < n; i++ {
-				l := i ^ j
-				if l > i {
-					level = append(level, Comparator{Lo: i, Hi: l, Asc: i&k == 0})
-				}
-			}
-			nw = append(nw, level)
+			steps = append(steps, step{k, j})
 		}
 	}
-	return nw
+	return Levels{
+		Count: len(steps),
+		At: func(level int, buf []Comparator) []Comparator {
+			s := steps[level]
+			buf = buf[:0]
+			for i := 0; i < n; i++ {
+				l := i ^ s.j
+				if l > i {
+					buf = append(buf, Comparator{Lo: i, Hi: l, Asc: i&s.k == 0})
+				}
+			}
+			return buf
+		},
+	}
 }
 
 // BitonicMerge returns the merge network that sorts a bitonic sequence of n
@@ -115,48 +167,143 @@ func OddEvenMergeSort(n int) Network {
 // n levels of neighbor comparators. On a 1-D layout it is the classic
 // linear-depth, linear-distance mesh algorithm.
 func OddEvenTransposition(n int) Network {
-	var nw Network
-	for step := 0; step < n; step++ {
-		var level []Comparator
-		for i := step % 2; i+1 < n; i += 2 {
-			level = append(level, Comparator{Lo: i, Hi: i + 1, Asc: true})
-		}
-		nw = append(nw, level)
+	ls := OddEvenTranspositionLevels(n)
+	nw := make(Network, ls.Count)
+	for i := range nw {
+		nw[i] = ls.At(i, nil)
 	}
 	return nw
 }
 
+// OddEvenTranspositionLevels streams the odd-even transposition network.
+func OddEvenTranspositionLevels(n int) Levels {
+	return Levels{
+		Count: n,
+		At: func(step int, buf []Comparator) []Comparator {
+			buf = buf[:0]
+			for i := step % 2; i+1 < n; i += 2 {
+				buf = append(buf, Comparator{Lo: i, Hi: i + 1, Asc: true})
+			}
+			return buf
+		},
+	}
+}
+
+// TrackRun pairs one track with the comparison order its elements sort by,
+// for fused execution of the same network over many disjoint tracks (see
+// RunMany). Use order.Reverse(less) to sort a track descending.
+type TrackRun struct {
+	Track grid.Track
+	Less  order.Less
+}
+
 // Run executes the network on the machine over the wires of track t, whose
-// register reg holds the elements. Each comparator is realized as one
-// message round trip between the two wire PEs (both PEs send their value,
-// then locally keep the min or max), so a comparator between PEs at
-// Manhattan distance d costs 2d energy. Levels execute as parallel rounds.
+// register reg holds the elements (every track position must hold one).
+// Each comparator is realized as one message round trip between the two
+// wire PEs (both PEs send their value, then locally keep the min or max),
+// so a comparator between PEs at Manhattan distance d costs 2d energy.
+// Levels execute as batched parallel rounds; when the machine reports
+// CountingOnly, values stay host-side and the rounds are counting-only.
 func Run(m *machine.Machine, nw Network, t grid.Track, reg machine.Reg, less order.Less) {
-	for _, level := range nw {
-		m.Par(func(send func(from, to machine.Coord, dstReg machine.Reg, v machine.Value)) {
-			for _, c := range level {
-				lo, hi := t.At(c.Lo), t.At(c.Hi)
-				send(lo, hi, "net.in", m.Get(lo, reg))
-				send(hi, lo, "net.in", m.Get(hi, reg))
+	RunLevels(m, nw.Levels(), t, reg, less)
+}
+
+// RunLevels is Run over the streaming network form.
+func RunLevels(m *machine.Machine, ls Levels, t grid.Track, reg machine.Reg, less order.Less) {
+	RunMany(m, ls, []TrackRun{{Track: t, Less: less}}, reg)
+}
+
+// RunMany executes the same network over many pairwise disjoint tracks,
+// fusing level i of every track into one batched round. Comparator chains
+// never cross tracks, so the resulting metrics are identical to running the
+// network on each track sequentially — but the fused rounds are large
+// enough for the machine's sharded executor to parallelize, where the
+// per-track rounds (e.g. one row of a mesh) would be too small. The tracks
+// must be pairwise disjoint and every track position must hold reg.
+func RunMany(m *machine.Machine, ls Levels, tracks []TrackRun, reg machine.Reg) {
+	if m.CountingOnly() {
+		runManyCounting(m, ls, tracks, reg)
+		return
+	}
+	var level []Comparator
+	for l := 0; l < ls.Count; l++ {
+		level = ls.At(l, level)
+		m.SendBatch(func(b *machine.Batch) {
+			for _, tr := range tracks {
+				for _, c := range level {
+					lo, hi := tr.Track.At(c.Lo), tr.Track.At(c.Hi)
+					b.Send(lo, hi, "net.in", m.Get(lo, reg))
+					b.Send(hi, lo, "net.in", m.Get(hi, reg))
+				}
 			}
 		})
-		for _, c := range level {
-			lo, hi := t.At(c.Lo), t.At(c.Hi)
-			a := m.Get(lo, reg)      // value at the low wire
-			b := m.Get(lo, "net.in") // value received from the high wire
-			small, large := a, b
-			if less(b, a) {
-				small, large = b, a
+		for _, tr := range tracks {
+			for _, c := range level {
+				lo, hi := tr.Track.At(c.Lo), tr.Track.At(c.Hi)
+				a := m.Get(lo, reg)      // value at the low wire
+				b := m.Get(lo, "net.in") // value received from the high wire
+				small, large := a, b
+				if tr.Less(b, a) {
+					small, large = b, a
+				}
+				if c.Asc {
+					m.Set(lo, reg, small)
+					m.Set(hi, reg, large)
+				} else {
+					m.Set(lo, reg, large)
+					m.Set(hi, reg, small)
+				}
+				m.Del(lo, "net.in")
+				m.Del(hi, "net.in")
 			}
-			if c.Asc {
-				m.Set(lo, reg, small)
-				m.Set(hi, reg, large)
-			} else {
-				m.Set(lo, reg, large)
-				m.Set(hi, reg, small)
+		}
+	}
+}
+
+// runManyCounting is RunMany on the counting-only fast path: the values
+// live in host memory and each comparator is one machine.CountPair — the
+// fused form of the two counting messages the register-delivering path
+// would send, sound because the comparators of a level are vertex-disjoint.
+// Track PEs are resolved to handles once, so the per-comparator work is pure
+// arithmetic on the cost counters: no message buffer, no tile lookups. The
+// sorted values are placed back into reg at the end. All cost metrics except
+// PeakMemory (no "net.in" register ever materializes) are bit-identical.
+func runManyCounting(m *machine.Machine, ls Levels, tracks []TrackRun, reg machine.Reg) {
+	vals := make([][]machine.Value, len(tracks))
+	hs := make([][]machine.PEHandle, len(tracks))
+	for ti, tr := range tracks {
+		n := tr.Track.Len()
+		vals[ti] = make([]machine.Value, n)
+		hs[ti] = make([]machine.PEHandle, n)
+		for i := 0; i < n; i++ {
+			c := tr.Track.At(i)
+			vals[ti][i] = m.Get(c, reg)
+			hs[ti][i] = m.Handle(c)
+		}
+	}
+	var level []Comparator
+	for l := 0; l < ls.Count; l++ {
+		level = ls.At(l, level)
+		for ti, tr := range tracks {
+			vs, h := vals[ti], hs[ti]
+			for _, c := range level {
+				m.CountPair(h[c.Lo], h[c.Hi])
+				a, bv := vs[c.Lo], vs[c.Hi]
+				small, large := a, bv
+				if tr.Less(bv, a) {
+					small, large = bv, a
+				}
+				if c.Asc {
+					vs[c.Lo], vs[c.Hi] = small, large
+				} else {
+					vs[c.Lo], vs[c.Hi] = large, small
+				}
 			}
-			m.Del(lo, "net.in")
-			m.Del(hi, "net.in")
+		}
+	}
+	for ti, tr := range tracks {
+		for i, v := range vals[ti] {
+			m.Set(tr.Track.At(i), reg, v)
 		}
 	}
 }
@@ -166,7 +313,7 @@ func Run(m *machine.Machine, nw Network, t grid.Track, reg machine.Reg, less ord
 // subgrid this is the paper's baseline with Theta(h^2 w + w^2 h log h)
 // energy, Theta(log^2 n) depth and Theta(h + w log h) distance (Lemma V.4).
 func Sort(m *machine.Machine, t grid.Track, reg machine.Reg, n int, less order.Less) {
-	Run(m, Bitonic(n), grid.Slice(t, 0, n), reg, less)
+	RunLevels(m, BitonicLevels(n), grid.Slice(t, 0, n), reg, less)
 }
 
 // Shearsort sorts the n = side*side elements stored row-major on the square
@@ -175,38 +322,32 @@ func Sort(m *machine.Machine, t grid.Track, reg machine.Reg, n int, less order.L
 // row and column odd-even transposition phases for ceil(log2 side)+1
 // rounds — a classic mesh-connected-computer algorithm (Section II-B):
 // polynomial Theta(sqrt(n) log n) depth, which is exactly what the paper's
-// polylog-depth algorithms improve upon.
+// polylog-depth algorithms improve upon. Each phase runs all rows (or all
+// columns) fused through RunMany, so one transposition step of the whole
+// mesh is a single batched round of side^2 messages.
 func Shearsort(m *machine.Machine, r grid.Rect, reg machine.Reg, less order.Less) {
 	if !r.IsSquare() {
 		panic(fmt.Sprintf("sortnet: Shearsort requires a square region, got %v", r))
 	}
 	side := r.H
 	rounds := zorder.Log2(zorder.NextPow2(side)) + 1
-	rowNet := OddEvenTransposition(side)
+	net := OddEvenTranspositionLevels(side)
+	// Snake order: even rows ascend, odd rows descend; columns always ascend.
+	rows := make([]TrackRun, side)
+	cols := make([]TrackRun, side)
+	for i := 0; i < side; i++ {
+		rows[i] = TrackRun{Track: rowTrack(r, i), Less: less}
+		if i%2 == 1 {
+			rows[i].Less = order.Reverse(less)
+		}
+		cols[i] = TrackRun{Track: colTrack(r, i), Less: less}
+	}
 	for round := 0; round < rounds; round++ {
-		// Sort rows in alternating directions (snake order).
-		for row := 0; row < side; row++ {
-			tr := rowTrack(r, row)
-			if row%2 == 0 {
-				Run(m, rowNet, tr, reg, less)
-			} else {
-				Run(m, rowNet, tr, reg, order.Reverse(less))
-			}
-		}
-		// Sort columns top-to-bottom.
-		for col := 0; col < side; col++ {
-			Run(m, rowNet, colTrack(r, col), reg, less)
-		}
+		RunMany(m, net, rows, reg)
+		RunMany(m, net, cols, reg)
 	}
 	// One final row phase leaves the snake fully sorted.
-	for row := 0; row < side; row++ {
-		tr := rowTrack(r, row)
-		if row%2 == 0 {
-			Run(m, rowNet, tr, reg, less)
-		} else {
-			Run(m, rowNet, tr, reg, order.Reverse(less))
-		}
-	}
+	RunMany(m, net, rows, reg)
 	// Permute snake order to row-major.
 	perm := make([]int, side*side)
 	for i := range perm {

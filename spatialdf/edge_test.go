@@ -194,6 +194,7 @@ func TestWithCongestionReportsMaxLinkLoad(t *testing.T) {
 func TestWithTracerSeesEveryMessage(t *testing.T) {
 	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6}
 	var count int64
+	//lint:ignore SA1019 the deprecated adapter must keep working until removed
 	_, m := Sort(vals, WithTracer(func(from, to Coord, v any) { count++ }))
 	if count != m.Messages {
 		t.Errorf("tracer saw %d messages, metrics report %d", count, m.Messages)
@@ -256,6 +257,7 @@ func TestOptionsOnAggregateOps(t *testing.T) {
 	// Options thread through the composite facades (GNN, Tree) too.
 	tr := Tree{Parent: []int{0, 0, 1}}
 	var count int64
+	//lint:ignore SA1019 the deprecated adapter must keep working until removed
 	out, _, err := tr.RootfixSum([]float64{1, 1, 1}, WithTracer(func(from, to Coord, v any) { count++ }))
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,8 @@
 package spatialdf
 
 import (
+	"fmt"
+
 	"repro/internal/machine"
 	"repro/internal/trace"
 )
@@ -24,11 +26,18 @@ type TraceSink = trace.Sink
 // It is the legacy callback form of WithTraceSink: the callback sees only
 // the endpoints and the payload, not the cost annotations. It must not call
 // back into the facade.
+//
+// Deprecated: use a TraceSink with WithTraceSink instead.
 type Tracer func(from, to Coord, v any)
 
 // Option configures the simulated machine an operation runs on. Every
 // facade operation accepts options; options meaningless to an operation
 // (e.g. WithSeed on a deterministic scan) are ignored.
+//
+// Some option combinations are contradictory (see WithShards and
+// WithBatchSends). Operations that return an error report an invalid
+// combination as that error; operations without an error return panic with
+// it, like they do for the memory-limit contract.
 type Option func(*config)
 
 type config struct {
@@ -36,6 +45,9 @@ type config struct {
 	congestion bool
 	sinks      []trace.Sink
 	seed       int64
+	shards     int
+	batchSends bool
+	err        error
 }
 
 func buildConfig(opts []Option) config {
@@ -45,7 +57,31 @@ func buildConfig(opts []Option) config {
 			o(&cfg)
 		}
 	}
+	if cfg.err == nil {
+		cfg.err = cfg.validate()
+	}
 	return cfg
+}
+
+// validate rejects contradictory option combinations. The rules mirror the
+// machine's semantics: sharding reports a memory-limit violation only after
+// the offending round completes, so the deterministic mid-round panic the
+// limit promises needs the sequential engine; the counting-only fast path
+// keeps payloads host-side, which would blind both a trace sink and the
+// per-PE memory accounting.
+func (c config) validate() error {
+	if c.shards > 1 && c.memLimit > 0 {
+		return fmt.Errorf("spatialdf: WithShards(%d) is incompatible with WithMemoryLimit (violation attribution needs the sequential engine)", c.shards)
+	}
+	if c.batchSends {
+		if c.memLimit > 0 {
+			return fmt.Errorf("spatialdf: WithBatchSends is incompatible with WithMemoryLimit (counting-only sends keep payloads host-side)")
+		}
+		if len(c.sinks) > 0 {
+			return fmt.Errorf("spatialdf: WithBatchSends is incompatible with WithTraceSink/WithTracer (counting-only sends carry no payload to trace)")
+		}
+	}
+	return nil
 }
 
 // WithMemoryLimit bounds the number of registers any single PE may hold,
@@ -59,9 +95,41 @@ func WithMemoryLimit(limit int) Option {
 // WithCongestion enables per-link traffic tracking under dimension-ordered
 // (X-then-Y) mesh routing; the resulting maximum per-link load is reported
 // in Metrics.MaxLinkLoad. Tracking costs O(distance) bookkeeping per
-// message, so it is off by default.
+// message, so it is off by default. It composes with WithShards: link loads
+// are tracked in the (sequential) charge pass, so the reported load is
+// identical for every shard count.
 func WithCongestion() Option {
 	return func(c *config) { c.congestion = true }
+}
+
+// WithShards executes the operation's parallel rounds across k shards of
+// the PE grid (destination-tile partitioning; see internal/machine). The
+// results and Metrics are byte-identical for every k — sharding changes
+// wall-clock time only. k <= 1 keeps rounds sequential. Composes with
+// WithCongestion and WithTraceSink (the event stream stays in issue order);
+// combining it with WithMemoryLimit is an error, reported per the Option
+// contract.
+func WithShards(k int) Option {
+	return func(c *config) {
+		if k < 1 {
+			c.err = fmt.Errorf("spatialdf: WithShards(%d): shard count must be at least 1", k)
+			return
+		}
+		c.shards = k
+	}
+}
+
+// WithBatchSends drives the operation through the machine's batched send
+// API with the counting-only fast path enabled: operations whose
+// communication is data-oblivious (SortBitonic, SortMesh) keep payloads
+// host-side and skip the register traffic. Energy, Depth, Distance and
+// Messages are unchanged; PeakMemory reflects only the registers actually
+// materialized, and Metrics.CriticalPath is unavailable (the implicit
+// critical-path recorder is a trace sink, which the fast path forgoes).
+// Combining it with WithTraceSink, WithTracer or WithMemoryLimit is an
+// error, reported per the Option contract.
+func WithBatchSends() Option {
+	return func(c *config) { c.batchSends = true }
 }
 
 // WithTraceSink attaches a sink to the operation's machine; it receives one
@@ -79,8 +147,11 @@ func WithTraceSink(s TraceSink) Option {
 
 // WithTracer installs a callback invoked for every message sent. It is a
 // thin adapter over WithTraceSink for callers that only want endpoints and
-// payloads; new code should prefer WithTraceSink, whose events also carry
-// the distance, chain-depth and energy annotations.
+// payloads.
+//
+// Deprecated: use WithTraceSink, whose events also carry the distance,
+// chain-depth and energy annotations the cost model is about. WithTracer
+// remains as a compatibility veneer and will not grow new capabilities.
 func WithTracer(t Tracer) Option {
 	if t == nil {
 		return func(*config) {}
@@ -99,8 +170,14 @@ func WithSeed(seed int64) Option {
 
 // newMachine constructs the simulated machine an operation runs on. Every
 // machine gets a critical-path recorder ahead of the caller's sinks so
-// Metrics.CriticalPath is available on demand.
+// Metrics.CriticalPath is available on demand — except under WithBatchSends,
+// whose counting-only fast path requires a sink-free machine. An invalid
+// option combination panics here with the config error; error-returning
+// operations recover it (see capture).
 func (c config) newMachine() *machine.Machine {
+	if c.err != nil {
+		panic(optionError{c.err})
+	}
 	var m *machine.Machine
 	if c.memLimit > 0 {
 		m = machine.NewWithMemoryLimit(c.memLimit)
@@ -110,19 +187,36 @@ func (c config) newMachine() *machine.Machine {
 	if c.congestion {
 		m.EnableCongestionTracking()
 	}
-	all := append([]trace.Sink{trace.NewCriticalPath()}, c.sinks...)
-	m.SetSink(trace.Multi(all...))
+	if c.batchSends {
+		m.SetBatchSends(true)
+	} else {
+		all := append([]trace.Sink{trace.NewCriticalPath()}, c.sinks...)
+		m.SetSink(trace.Multi(all...))
+	}
+	if c.shards > 1 {
+		m.SetShards(c.shards)
+	}
 	return m
 }
 
-// captureMemLimit converts a memory-limit contract violation into the
-// returned error of the enclosing operation. Any other panic propagates.
+// optionError wraps an invalid option combination for transport through the
+// panic path of operations that lack an error return.
+type optionError struct{ err error }
+
+func (e optionError) Error() string { return e.err.Error() }
+
+// captureMemLimit converts a memory-limit contract violation or an invalid
+// option combination into the returned error of the enclosing operation.
+// Any other panic propagates.
 func captureMemLimit(err *error) {
 	if r := recover(); r != nil {
-		if mle, ok := r.(machine.MemoryLimitError); ok {
-			*err = mle
-			return
+		switch v := r.(type) {
+		case machine.MemoryLimitError:
+			*err = v
+		case optionError:
+			*err = v.err
+		default:
+			panic(r)
 		}
-		panic(r)
 	}
 }
