@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: check bench test bench-compare trace-smoke conformance conformance-full experiments-refresh staticcheck
+.PHONY: check bench test bench-compare trace-smoke spatiald-smoke conformance conformance-full experiments-refresh staticcheck
 
 # check is the full gate: build, vet, staticcheck, the race-enabled test
-# suite, the trace-artifact smoke test and the quick conformance run.
+# suite, the trace-artifact smoke test, the spatiald daemon smoke test and
+# the quick conformance run.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(MAKE) staticcheck
 	$(GO) test -race ./...
 	$(MAKE) trace-smoke
+	$(MAKE) spatiald-smoke
 	$(MAKE) conformance QUICK=1
 
 test:
@@ -42,12 +44,15 @@ conformance:
 # conformance-full is the nightly entry point: full sweeps with a
 # per-sweep wall-clock budget so a slow runner truncates sweeps (recorded
 # in the JSON sweep stats) instead of hanging the job. Override with
-# `make conformance-full TIMEOUT=20m`; JSON=1 as above. The recipes are
+# `make conformance-full TIMEOUT=20m`; JSON=1 as above. CACHE_DIR=path
+# runs with the content-addressed result cache, so a repeat run on an
+# unchanged tree is served from disk instead of re-simulated (the nightly
+# workflow persists the directory between runs). The recipes are
 # @-silenced so `JSON=1 > file.json` captures a pure JSON document — an
 # echoed recipe line would corrupt the nightly artifact.
 TIMEOUT ?= 9m
 conformance-full:
-	@$(GO) run ./cmd/boundcheck -full -timeout $(TIMEOUT) $(if $(JSON),-json)
+	@$(GO) run ./cmd/boundcheck -full -timeout $(TIMEOUT) $(if $(JSON),-json) $(if $(CACHE_DIR),-cache $(CACHE_DIR))
 
 # experiments-refresh regenerates the conformance verdict table used in
 # EXPERIMENTS.md (full sweeps, JSON verdicts). Paste/update the verdict
@@ -58,10 +63,13 @@ experiments-refresh:
 # bench reruns the simulator micro-benchmarks plus two end-to-end
 # measurements — the Table I sort and the MeshSortPoint value/counting pair
 # (whose ns/op ratio records the single-measurement speedup of the batched
-# send API) — and rewrites BENCH_machine.json. The recorded seed_baseline
-# object (the pre-optimization numbers) is preserved across rewrites.
+# send API) — plus the warm result-cache benchmark (its hit_rate metric
+# tells bench-compare the timing measured cache lookups, not simulation)
+# and rewrites BENCH_machine.json. The recorded seed_baseline object (the
+# pre-optimization numbers) is preserved across rewrites.
 bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkMachine' -benchmem ./internal/machine/; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkCacheHit' -benchmem ./internal/harness/; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkTable1Sort|BenchmarkMeshSortPoint' -benchtime 1x . ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_machine.json
 	@echo wrote BENCH_machine.json
@@ -75,6 +83,14 @@ TOL ?= 0.20
 bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkMachine' -benchmem ./internal/machine/ \
 	| $(GO) run ./cmd/benchjson -compare BENCH_machine.json -tol $(TOL) -match BenchmarkMachine
+
+# spatiald-smoke boots the daemon on a random port, submits the same
+# boundcheck job twice and checks the second is served from cache with a
+# byte-identical verdict document — all under the race detector. This is
+# exactly the cmd/spatiald test suite, named as a target so CI and `make
+# check` gate on it explicitly.
+spatiald-smoke:
+	$(GO) test -race -count 1 ./cmd/spatiald/ ./internal/service/
 
 # trace-smoke runs one quick experiment with tracing and heatmap output on
 # and validates the trace_event JSON with cmd/tracecheck (-parallel 1 keeps

@@ -17,7 +17,11 @@
 // (b.ReportMetric(float64(shards), "shards")) additionally have the shard
 // count echoed in the comparison, and a run whose shard count differs from
 // the baseline's fails outright: timings at different parallelism are not
-// comparable, and a regression must not hide behind one. This is the
+// comparable, and a regression must not hide behind one. Benchmarks
+// reporting a "hit_rate" metric (the result-cache benchmarks) are treated
+// more leniently: a hit-rate difference against the baseline is reported
+// and exempts the benchmark from the ns/op gate — a cold cache is an
+// expected state, not a configuration error. This is the
 // `make bench-compare` regression gate.
 //
 // Usage:
@@ -95,12 +99,30 @@ func compareBenches(w io.Writer, cur, base map[string]map[string]float64, prefix
 		}
 		delta := curNs/baseNs - 1
 		status := "ok"
-		if delta > tol {
+		// Benchmarks that exercise the result cache report their hit rate
+		// (b.ReportMetric(hits/lookups, "hit_rate")). A run whose hit rate
+		// differs from the baseline's measured something else — cached
+		// lookups versus real simulation — so its ns/op delta is reported
+		// but not gated: unlike a shard mismatch this is an expected state
+		// difference (cold CI caches), not a configuration error.
+		curH, curHasH := cur[name]["hit_rate"]
+		baseH, baseHasH := b["hit_rate"]
+		hitNote := ""
+		gate := true
+		switch {
+		case curHasH && baseHasH && curH == baseH:
+			hitNote = fmt.Sprintf(" [hit_rate %g]", curH)
+		case curHasH || baseHasH:
+			status = "HITRATE"
+			gate = false
+			hitNote = fmt.Sprintf(" [hit_rate %g -> %g: reported, not gated]", baseH, curH)
+		}
+		if gate && delta > tol {
 			status = "REGRESSED"
 		}
 		curA, baseA := cur[name]["allocs_per_op"], b["allocs_per_op"]
 		allocNote := ""
-		if curA > baseA && curA > baseA*(1+tol) {
+		if gate && curA > baseA && curA > baseA*(1+tol) {
 			status = "ALLOCS"
 			allocNote = fmt.Sprintf(" [allocs %g -> %g]", baseA, curA)
 		}
@@ -118,10 +140,10 @@ func compareBenches(w io.Writer, cur, base map[string]map[string]float64, prefix
 			status = "SHARDS"
 			shardNote = fmt.Sprintf(" [shards %g -> %g: not comparable]", baseS, curS)
 		}
-		if status != "ok" {
+		if status != "ok" && status != "HITRATE" {
 			regressions++
 		}
-		fmt.Fprintf(w, "  %-8s %-44s %12.1f -> %10.1f ns/op (%+.1f%%)%s%s\n", status, name, baseNs, curNs, 100*delta, allocNote, shardNote)
+		fmt.Fprintf(w, "  %-8s %-44s %12.1f -> %10.1f ns/op (%+.1f%%)%s%s%s\n", status, name, baseNs, curNs, 100*delta, allocNote, shardNote, hitNote)
 	}
 	for name := range base {
 		if strings.HasPrefix(name, prefix) {

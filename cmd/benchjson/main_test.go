@@ -123,6 +123,49 @@ func benchS(ns, shards float64) map[string]float64 {
 	return map[string]float64{"ns_per_op": ns, "iterations": 1000, "shards": shards}
 }
 
+func benchH(ns, hitRate float64) map[string]float64 {
+	return map[string]float64{"ns_per_op": ns, "hit_rate": hitRate}
+}
+
+// TestCompareBenchesHitRate: a hit-rate difference against the baseline is
+// reported but never gates — a warm ns/op measured against a cold baseline
+// (or vice versa) compares cache lookups with real simulation, which is an
+// expected state difference, unlike a shard-count mismatch.
+func TestCompareBenchesHitRate(t *testing.T) {
+	base := map[string]map[string]float64{
+		"BenchmarkCacheHit": benchH(100, 1),
+		"BenchmarkPlain":    bench(100),
+	}
+
+	// Same hit rate: echoed, timing judged normally (and gated).
+	var b strings.Builder
+	cur := map[string]map[string]float64{"BenchmarkCacheHit": benchH(200, 1)}
+	if n := compareBenches(&b, cur, base, "Benchmark", 0.20); n != 1 {
+		t.Errorf("regressions = %d, want 1 (same hit rate regressed)\n%s", n, b.String())
+	}
+	if !strings.Contains(b.String(), "[hit_rate 1]") {
+		t.Errorf("report missing hit rate echo:\n%s", b.String())
+	}
+
+	// Different hit rate: a 10x slowdown is reported but tolerated — the
+	// baseline was warm, this run was cold.
+	b.Reset()
+	cur = map[string]map[string]float64{"BenchmarkCacheHit": benchH(1000, 0)}
+	if n := compareBenches(&b, cur, base, "Benchmark", 0.20); n != 0 {
+		t.Errorf("regressions = %d, want 0 (hit-rate difference exempts timing)\n%s", n, b.String())
+	}
+	if !strings.Contains(b.String(), "HITRATE") || !strings.Contains(b.String(), "hit_rate 1 -> 0") {
+		t.Errorf("report missing hit-rate diagnostic:\n%s", b.String())
+	}
+
+	// Gaining the metric relative to the baseline is also exempt-but-noted.
+	b.Reset()
+	cur = map[string]map[string]float64{"BenchmarkPlain": benchH(1000, 0.5)}
+	if n := compareBenches(&b, cur, base, "Benchmark", 0.20); n != 0 {
+		t.Errorf("regressions = %d, want 0 (metric appeared)\n%s", n, b.String())
+	}
+}
+
 func TestCompareBenchesShards(t *testing.T) {
 	base := map[string]map[string]float64{
 		"BenchmarkShardedRound": benchS(100, 4),

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/harness"
+	"repro/internal/service"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -109,6 +111,64 @@ func TestTimeoutSkipsPoints(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "skipped") {
 		t.Errorf("stderr does not report the skipped points: %s", errOut.String())
+	}
+}
+
+// TestCacheWarmRunByteIdentical: the -cache contract — a second identical
+// run serves every point from the cache and still prints the exact same
+// report bytes, with hit/miss accounting on stderr only.
+func TestCacheWarmRunByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-quick", "-json", "-cache", dir}
+	var cold, warm, errCold, errWarm bytes.Buffer
+	if got := run(args, &cold, &errCold, synthProvider(true)); got != 0 {
+		t.Fatalf("cold exit = %d (stderr: %s)", got, errCold.String())
+	}
+	if got := run(args, &warm, &errWarm, synthProvider(true)); got != 0 {
+		t.Fatalf("warm exit = %d (stderr: %s)", got, errWarm.String())
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Errorf("warm run output differs from cold:\ncold: %s\nwarm: %s", cold.String(), warm.String())
+	}
+	if !strings.Contains(errCold.String(), "cache: 0 hits, 4 misses") {
+		t.Errorf("cold stderr missing miss accounting: %s", errCold.String())
+	}
+	if !strings.Contains(errWarm.String(), "cache: 4 hits, 0 misses") {
+		t.Errorf("warm stderr does not show an all-hit run: %s", errWarm.String())
+	}
+}
+
+// TestServerModeMatchesLocal: `boundcheck -server` must print the same
+// -json document (and exit code) as a local run with the daemon's pool
+// settings — the verdict bytes are produced by the same
+// bounds.MarshalReportJSON on both paths.
+func TestServerModeMatchesLocal(t *testing.T) {
+	for _, pass := range []bool{true, false} {
+		prov := synthProvider(pass)
+		eng := service.New(service.Config{
+			Workers: 2,
+			Sweeps:  func(quick bool) *harness.Registry { reg, _ := prov(quick); return reg },
+			Claims:  func() []bounds.Claim { _, claims := prov(false); return claims },
+		})
+		srv := httptest.NewServer(eng.Handler())
+
+		var local, remote, errOut bytes.Buffer
+		localCode := run([]string{"-quick", "-json", "-shards", "1", "-batch=false"}, &local, &errOut, prov)
+		remoteCode := run([]string{"-server", srv.URL, "-quick", "-json"}, &remote, &errOut, prov)
+		srv.Close()
+
+		want := 0
+		if !pass {
+			want = 1
+		}
+		if localCode != want || remoteCode != want {
+			t.Errorf("pass=%t: exit local=%d remote=%d, want %d (stderr: %s)",
+				pass, localCode, remoteCode, want, errOut.String())
+		}
+		if !bytes.Equal(local.Bytes(), remote.Bytes()) {
+			t.Errorf("pass=%t: server document differs from local run:\nlocal:  %s\nserver: %s",
+				pass, local.String(), remote.String())
+		}
 	}
 }
 

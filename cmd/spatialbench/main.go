@@ -22,9 +22,22 @@
 //	spatialbench -exp scan-ablation -json # JSON tables
 //	spatialbench -exp scan-ablation -quick -parallel 1 -trace out.json \
 //	    -heatmap out.csv              # trace to chrome://tracing + PE heatmap
+//	spatialbench -cache DIR          # reuse previously simulated sweep points
+//	spatialbench -server URL -sweep table1/scan   # run a bound sweep on spatiald
+//	spatialbench -server URL -sweep list          # list the daemon-runnable sweeps
+//
+// -cache keys every sweep point by (sweep, point, seed, shards, batch,
+// code version) — see internal/simcache — so repeat runs replay stored
+// rows instead of simulating; experiment output is byte-identical either
+// way, and hit/miss counts go to stderr. -server submits one *registered
+// bound sweep* (the named sweeps of internal/experiments.BoundSweeps; the
+// full experiment drivers run locally only) to a spatiald daemon and
+// prints its rows.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,9 +45,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/service"
+	"repro/internal/simcache"
 	"repro/internal/trace"
 )
 
@@ -63,8 +80,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut   = fs.String("trace", "", "write a chrome://tracing / Perfetto trace of every message to this file (use -parallel 1 for readable scopes)")
 		heatOut    = fs.String("heatmap", "", "write a per-PE send/recv/link-load heatmap CSV to this file")
 		cpCheck    = fs.Bool("cpcheck", false, "verify every measurement's critical path against its Depth/Distance metrics (slow)")
+		cacheDir   = fs.String("cache", "", "directory for the content-addressed result cache (reruns serve hits instead of simulating)")
+		server     = fs.String("server", "", "submit -sweep to this spatiald daemon (URL or host:port) instead of running locally")
+		sweepName  = fs.String("sweep", "", "registered bound sweep to run via -server (\"list\" to enumerate)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *server != "" {
+		return runSweepOnServer(*server, *sweepName, *quick, *seed, *jsonOut, stdout, stderr)
+	}
+	if *sweepName != "" {
+		fmt.Fprintln(stderr, "spatialbench: -sweep requires -server (local runs use -exp)")
 		return 2
 	}
 
@@ -136,6 +164,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *cpCheck {
 		opts = append(opts, harness.WithCriticalPathCheck())
 	}
+	var cache *simcache.Cache
+	if *cacheDir != "" {
+		backend, err := simcache.Dir(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "spatialbench: -cache: %v\n", err)
+			return 2
+		}
+		cache = simcache.New(backend, 0)
+		opts = append(opts, harness.WithCache(cache))
+		// Hit/miss counts are reported after the run, on stderr only:
+		// stdout must stay byte-identical between cold and warm runs.
+		defer func() {
+			st := cache.Stats()
+			fmt.Fprintf(stderr, "spatialbench: cache: %d hits, %d misses, %d stored (dir %s)\n",
+				st.Hits, st.Misses, st.Stores, *cacheDir)
+		}()
+	}
 
 	// Observability sinks are shared by every worker, so they go behind one
 	// lock; the cost is per-message, which only matters when tracing is on.
@@ -200,6 +245,62 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "heatmap: %v\n", err)
 			return 1
 		}
+	}
+	return 0
+}
+
+// runSweepOnServer submits one registered bound sweep to a spatiald daemon
+// and prints its rows (tab-separated, or the raw result document with
+// -json). "-sweep list" asks the local registry for the runnable names.
+func runSweepOnServer(server, name string, quick bool, seed int64, jsonOut bool, stdout, stderr io.Writer) int {
+	if name == "list" {
+		fmt.Fprintln(stdout, "bound sweeps (run with -server URL -sweep NAME):")
+		for _, n := range experiments.BoundSweeps(quick).Names() {
+			fmt.Fprintf(stdout, "  %s\n", n)
+		}
+		return 0
+	}
+	if name == "" {
+		fmt.Fprintln(stderr, "spatialbench: -server requires -sweep NAME (\"list\" to enumerate)")
+		return 2
+	}
+	c := &service.Client{Base: server}
+	id, err := c.SubmitSweep(service.SweepRequest{Name: name, Quick: quick, Seed: seed})
+	if err != nil {
+		fmt.Fprintf(stderr, "spatialbench: %v\n", err)
+		return 2
+	}
+	info, err := c.Wait(context.Background(), id, 250*time.Millisecond, nil)
+	if err != nil {
+		fmt.Fprintf(stderr, "spatialbench: %v\n", err)
+		return 2
+	}
+	if info.Status != service.StatusDone {
+		fmt.Fprintf(stderr, "spatialbench: job %s %s: %s\n", id, info.Status, info.Error)
+		return 2
+	}
+	fmt.Fprintf(stderr, "spatialbench: server job %s: %d/%d points from cache\n", id, info.CacheHits, info.Progress.Total)
+	doc, err := c.Result(id)
+	if err != nil {
+		fmt.Fprintf(stderr, "spatialbench: %v\n", err)
+		return 2
+	}
+	if jsonOut {
+		stdout.Write(doc)
+		fmt.Fprintln(stdout)
+		return 0
+	}
+	var res service.SweepResult
+	if err := json.Unmarshal(doc, &res); err != nil {
+		fmt.Fprintf(stderr, "spatialbench: bad result document: %v\n", err)
+		return 2
+	}
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = fmt.Sprint(v)
+		}
+		fmt.Fprintln(stdout, strings.Join(cells, "\t"))
 	}
 	return 0
 }

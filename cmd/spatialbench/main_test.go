@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/service"
 )
 
 func runCLI(t *testing.T, args ...string) (string, string, int) {
@@ -203,6 +205,72 @@ func TestTraceAndHeatmapFlags(t *testing.T) {
 }
 
 // TestTraceFlagBadPath: an uncreatable trace file must fail cleanly.
+// TestCacheWarmRunByteIdentical: -cache must leave stdout byte-identical
+// between a cold and a fully warmed run, with hit accounting on stderr.
+func TestCacheWarmRunByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "collectives", "-quick", "-parallel", "2", "-cache", dir}
+	cold, _, code := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("cold exit = %d", code)
+	}
+	warm, errWarm, code := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("warm exit = %d", code)
+	}
+	if cold != warm {
+		t.Errorf("warm output differs from cold:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+	if !strings.Contains(errWarm, " 0 misses") {
+		t.Errorf("warm stderr does not report an all-hit run: %s", errWarm)
+	}
+}
+
+// TestServerSweepMode drives -server/-sweep against an in-process service
+// engine: the printed rows must match a direct harness run of the sweep.
+func TestServerSweepMode(t *testing.T) {
+	reg := &harness.Registry{}
+	reg.MustRegister(harness.SweepSpec{Name: "syn/cubes", Points: 3,
+		Point: func(i int, env *harness.Env) []harness.Row {
+			n := 1 << uint(i)
+			return harness.One(n, n*n*n)
+		}})
+	eng := service.New(service.Config{
+		Workers: 1,
+		Sweeps:  func(bool) *harness.Registry { return reg },
+	})
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+
+	out, errOut, code := runCLI(t, "-server", srv.URL, "-sweep", "syn/cubes")
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", code, errOut)
+	}
+	if want := "1\t1\n2\t8\n4\t64\n"; out != want {
+		t.Errorf("rows = %q, want %q", out, want)
+	}
+
+	if _, errOut, code = runCLI(t, "-server", srv.URL, "-sweep", "syn/nope"); code != 2 {
+		t.Errorf("unknown sweep: exit = %d (stderr: %s)", code, errOut)
+	}
+	if _, errOut, code = runCLI(t, "-server", srv.URL); code != 2 {
+		t.Errorf("missing -sweep: exit = %d (stderr: %s)", code, errOut)
+	}
+	if _, _, code = runCLI(t, "-sweep", "syn/cubes"); code != 2 {
+		t.Errorf("-sweep without -server: exit = %d", code)
+	}
+}
+
+func TestSweepListMode(t *testing.T) {
+	out, _, code := runCLI(t, "-server", "ignored", "-sweep", "list")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "bounds/scan") {
+		t.Errorf("sweep list missing table1/scan:\n%s", out)
+	}
+}
+
 func TestTraceFlagBadPath(t *testing.T) {
 	_, errOut, code := runCLI(t, "-exp", "collectives", "-quick",
 		"-trace", t.TempDir()+"/no/such/dir/trace.json")

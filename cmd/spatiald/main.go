@@ -1,0 +1,148 @@
+// Command spatiald is the pooled simulation daemon: a long-running
+// HTTP/JSON service that runs measurement sweeps and bound-conformance
+// jobs for many clients on one shared worker pool, answering repeated
+// requests from a content-addressed result cache (every sweep point is
+// byte-deterministic in its cache key, so hits are exact — see
+// internal/simcache).
+//
+// Usage:
+//
+//	spatiald                          # listen on 127.0.0.1:8053, in-memory cache
+//	spatiald -addr :9000              # different listen address
+//	spatiald -cache /var/simcache     # persist results across restarts
+//	spatiald -rate 10 -burst 20       # cap job submissions per second
+//	spatiald -addrfile /tmp/addr      # write the bound address (with -addr :0)
+//
+// Endpoints: POST /v1/jobs/sweep, POST /v1/jobs/boundcheck,
+// GET /v1/jobs/{id}, GET /v1/jobs/{id}/result, GET /metrics,
+// GET /healthz — see internal/service. `boundcheck -server URL` and
+// `spatialbench -server URL -sweep NAME` are the bundled clients.
+//
+// On SIGINT/SIGTERM the daemon stops accepting jobs, drains the ones in
+// flight (up to -drain), then exits — pollers keep getting status while
+// the drain runs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/service"
+	"repro/internal/simcache"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, stop, mainProvider))
+}
+
+// provider yields the sweep registry and claim set, injectable so the
+// smoke test drives the full daemon against fast synthetic sweeps.
+type provider func(quick bool) (*harness.Registry, []bounds.Claim)
+
+func mainProvider(quick bool) (*harness.Registry, []bounds.Claim) {
+	return experiments.BoundSweeps(quick), bounds.Registry()
+}
+
+func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, prov provider) int {
+	fs := flag.NewFlagSet("spatiald", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8053", "listen address (use :0 for a random port)")
+		addrFile = fs.String("addrfile", "", "write the bound address to this file once listening")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per pool")
+		shards   = fs.Int("shards", runtime.GOMAXPROCS(0), "intra-simulation shards per machine")
+		batch    = fs.Bool("batch", true, "drive machines through the batched send API")
+		cacheDir = fs.String("cache", "", "directory for the persistent result cache (default: in-memory only)")
+		entries  = fs.Int("cache-entries", 4096, "in-memory LRU capacity, sweep points (0 = unbounded)")
+		rate     = fs.Float64("rate", 0, "max job submissions per second (0 = unlimited)")
+		burst    = fs.Int("burst", 0, "rate-limit burst (default: ceil(rate))")
+		drain    = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var backend simcache.Backend
+	if *cacheDir != "" {
+		b, err := simcache.Dir(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "spatiald: -cache: %v\n", err)
+			return 2
+		}
+		backend = b
+	}
+	cache := simcache.New(backend, *entries)
+
+	eng := service.New(service.Config{
+		Workers:    *parallel,
+		Shards:     *shards,
+		Batch:      *batch,
+		Cache:      cache,
+		Sweeps:     func(quick bool) *harness.Registry { reg, _ := prov(quick); return reg },
+		Claims:     func() []bounds.Claim { _, claims := prov(false); return claims },
+		RatePerSec: *rate,
+		Burst:      *burst,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "spatiald: listen: %v\n", err)
+		return 1
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintf(stderr, "spatiald: -addrfile: %v\n", err)
+			ln.Close()
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "spatiald: listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: eng.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "spatiald: serve: %v\n", err)
+		return 1
+	case <-stop:
+	}
+
+	fmt.Fprintln(stderr, "spatiald: shutting down, draining in-flight jobs...")
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	code := 0
+	// Drain the job pool first (pollers still get status over HTTP), then
+	// stop the HTTP server itself.
+	if err := eng.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "spatiald: %v\n", err)
+		code = 1
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+	}
+	m := eng.Snapshot()
+	fmt.Fprintf(stderr, "spatiald: drained: %d jobs done, %d failed; cache %d hits / %d misses; %d rows simulated\n",
+		m.Jobs.Done, m.Jobs.Failed, m.Cache.Hits, m.Cache.Misses, m.RowsSimulated)
+	return code
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/harness"
+	"repro/internal/service"
+)
+
+// synthProvider mirrors cmd/boundcheck's: closed-form sweeps so the smoke
+// test drives the whole daemon (HTTP, batcher, cache, drain) in
+// milliseconds — which is what lets CI run it under -race.
+func synthProvider(quick bool) (*harness.Registry, []bounds.Claim) {
+	points := 5
+	if quick {
+		points = 3
+	}
+	reg := &harness.Registry{}
+	reg.MustRegister(harness.SweepSpec{Name: "syn/quadratic", Points: points,
+		Point: func(i int, env *harness.Env) []harness.Row {
+			n := float64(int(128) << uint(2*i))
+			return harness.One(n, n*n)
+		}})
+	claims := []bounds.Claim{{
+		ID: "syn/exponent", Source: "test", Stated: "Θ(n²)",
+		Kind: bounds.Exponent, Sweep: "syn/quadratic", Col: 1, Want: 2.0, Tol: 0.1,
+	}}
+	return reg, claims
+}
+
+// startDaemon runs the full spatiald CLI on a random port and returns a
+// client plus a shutdown func that triggers the drain path and reports the
+// exit code.
+func startDaemon(t *testing.T, extraArgs ...string) (*service.Client, func() int) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{"-addr", "127.0.0.1:0", "-addrfile", addrFile, "-parallel", "2"}, extraArgs...)
+	stop := make(chan struct{})
+	exit := make(chan int, 1)
+	var out, errOut bytes.Buffer
+	go func() { exit <- run(args, &out, &errOut, stop, synthProvider) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			return &service.Client{Base: string(data)}, func() int {
+				close(stop)
+				select {
+				case code := <-exit:
+					t.Logf("spatiald stderr:\n%s", errOut.String())
+					return code
+				case <-time.After(30 * time.Second):
+					t.Fatal("spatiald did not exit after stop")
+					return -1
+				}
+			}
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("spatiald exited early with %d\nstderr: %s", code, errOut.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never wrote %s", addrFile)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSmoke is the CI gate for the daemon: start it on a random port,
+// submit the same conformance run twice, and require that the second run
+// is answered entirely from the result cache with byte-identical verdicts.
+func TestSmoke(t *testing.T) {
+	c, shutdown := startDaemon(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	runOnce := func() (service.JobInfo, []byte) {
+		id, err := c.SubmitBoundcheck(service.BoundcheckRequest{Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := c.Wait(ctx, id, 5*time.Millisecond, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Status != service.StatusDone {
+			t.Fatalf("job = %+v", info)
+		}
+		doc, err := c.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info, doc
+	}
+
+	cold, coldDoc := runOnce()
+	if cold.CacheHits != 0 {
+		t.Errorf("cold run reported %d cache hits", cold.CacheHits)
+	}
+	warm, warmDoc := runOnce()
+	if warm.CacheHits != warm.Progress.Total || warm.Progress.Total == 0 {
+		t.Errorf("warm run: %d/%d points from cache, want all", warm.CacheHits, warm.Progress.Total)
+	}
+	if !bytes.Equal(coldDoc, warmDoc) {
+		t.Errorf("verdicts differ between cold and warm runs:\ncold: %s\nwarm: %s", coldDoc, warmDoc)
+	}
+	if !strings.Contains(string(coldDoc), `"pass": true`) {
+		t.Errorf("no passing verdict in document: %s", coldDoc)
+	}
+
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache.Hits == 0 || m.RowsSimulated == 0 {
+		t.Errorf("metrics = %+v, want nonzero cache hits and simulated rows", m)
+	}
+
+	if code := shutdown(); code != 0 {
+		t.Errorf("spatiald exit = %d, want 0", code)
+	}
+}
+
+// TestSmokePersistentCache: with -cache DIR, a daemon restart keeps its
+// results — the second daemon's first run is already warm.
+func TestSmokePersistentCache(t *testing.T) {
+	dir := t.TempDir()
+	c, shutdown := startDaemon(t, "-cache", dir)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	submitAndWait := func(c *service.Client) service.JobInfo {
+		id, err := c.SubmitSweep(service.SweepRequest{Name: "syn/quadratic", Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := c.Wait(ctx, id, 5*time.Millisecond, nil)
+		if err != nil || info.Status != service.StatusDone {
+			t.Fatalf("job = %+v, err = %v", info, err)
+		}
+		return info
+	}
+	submitAndWait(c)
+	if code := shutdown(); code != 0 {
+		t.Fatalf("first daemon exit = %d", code)
+	}
+
+	c2, shutdown2 := startDaemon(t, "-cache", dir)
+	if info := submitAndWait(c2); info.CacheHits != info.Progress.Total || info.Progress.Total == 0 {
+		t.Errorf("restarted daemon: %d/%d points from cache, want all", info.CacheHits, info.Progress.Total)
+	}
+	if code := shutdown2(); code != 0 {
+		t.Errorf("second daemon exit = %d", code)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	stop := make(chan struct{})
+	if code := run([]string{"-bogus"}, &out, &errOut, stop, synthProvider); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,100 @@
+package bounds
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// RunMeta records the knobs of a conformance run inside its JSON document,
+// so artifacts are self-describing: a verdict file always says which sweep
+// size, seed and machine configuration produced it.
+type RunMeta struct {
+	Quick     bool  `json:"quick"`
+	Seed      int64 `json:"seed"`
+	MaxPoints int   `json:"maxpoints"`
+	Shards    int   `json:"shards"`
+	Batch     bool  `json:"batch"`
+}
+
+// jsonVerdict fixes the float formatting (%.4g strings) so the output is
+// byte-deterministic for a given seed — NaN-safe and golden-testable.
+type jsonVerdict struct {
+	Verdict
+	Measured string `json:"measured"`
+	R2       string `json:"r2,omitempty"`
+}
+
+func fmtMeasure(f float64) string {
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	return fmt.Sprintf("%.4g", f)
+}
+
+// reportDoc is the on-the-wire conformance document. The field order is a
+// compatibility contract: cmd/boundcheck's golden test pins the exact
+// bytes, and both the CLI's -json mode and the spatiald result endpoint
+// emit it, which is what makes "the server's verdicts match a local run"
+// checkable with bytes.Equal.
+type reportDoc struct {
+	Quick     bool          `json:"quick"`
+	Seed      int64         `json:"seed"`
+	MaxPoints int           `json:"maxpoints"`
+	Shards    int           `json:"shards"`
+	Batch     bool          `json:"batch"`
+	Claims    int           `json:"claims"`
+	Failures  int           `json:"failures"`
+	Sweeps    []SweepStat   `json:"sweeps"`
+	Verdicts  []jsonVerdict `json:"verdicts"`
+}
+
+// MarshalReportJSON renders a conformance report and its run metadata as
+// the canonical indented JSON document (trailing newline included).
+func MarshalReportJSON(rep Report, meta RunMeta) ([]byte, error) {
+	doc := reportDoc{Quick: meta.Quick, Seed: meta.Seed, MaxPoints: meta.MaxPoints,
+		Shards: meta.Shards, Batch: meta.Batch,
+		Claims: len(rep.Verdicts), Failures: rep.Failures(), Sweeps: rep.Sweeps}
+	for _, v := range rep.Verdicts {
+		jv := jsonVerdict{Verdict: v, Measured: fmtMeasure(v.Measured)}
+		if !math.IsNaN(v.R2) {
+			jv.R2 = fmtMeasure(v.R2)
+		}
+		doc.Verdicts = append(doc.Verdicts, jv)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteReportJSON writes the canonical document to w.
+func WriteReportJSON(w io.Writer, rep Report, meta RunMeta) error {
+	data, err := MarshalReportJSON(rep, meta)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadReportJSON parses a canonical conformance document back into a
+// Report and its RunMeta. Verdict.Measured/R2 are rendered as rounded
+// strings in the document and are not recovered (they stay NaN-free
+// zeros); everything a table renderer or an exit-code gate needs —
+// pass/fail, detail, sweep stats — round-trips.
+func ReadReportJSON(data []byte) (Report, RunMeta, error) {
+	var doc reportDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Report{}, RunMeta{}, err
+	}
+	rep := Report{Sweeps: doc.Sweeps, Verdicts: make([]Verdict, len(doc.Verdicts))}
+	for i, jv := range doc.Verdicts {
+		rep.Verdicts[i] = jv.Verdict
+	}
+	meta := RunMeta{Quick: doc.Quick, Seed: doc.Seed, MaxPoints: doc.MaxPoints,
+		Shards: doc.Shards, Batch: doc.Batch}
+	return rep, meta, nil
+}

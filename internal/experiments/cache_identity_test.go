@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/simcache"
+)
+
+// TestCacheOutputIdentity is the cache contract at the experiment level:
+// for every registered experiment, output served from a warmed
+// content-addressed cache must be byte-identical to a cold sequential run
+// — the cache may change wall-clock only, never a reported number. Three
+// runs share one cache: an uncached sequential baseline, a cold cached run
+// (misses populate the store), and a warm cached run (every point a hit).
+func TestCacheOutputIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment three times; seconds of simulation each")
+	}
+	if raceEnabled {
+		t.Skip("race detector makes the sweeps ~10x slower; harness cache tests cover the concurrency")
+	}
+	workers := harness.WithWorkers(runtime.GOMAXPROCS(0))
+	baseline := runAllExperiments(workers)
+	if len(baseline) == 0 {
+		t.Fatal("baseline run produced no output")
+	}
+
+	cache := simcache.New(simcache.Memory(), 0)
+	cached := []harness.Option{workers,
+		harness.WithCache(cache), harness.WithCacheVersion("test")}
+
+	cold := runAllExperiments(cached...)
+	if cold != baseline {
+		t.Errorf("cold cached run differs from uncached baseline\n%s", firstDiff(baseline, cold))
+	}
+	st := cache.Stats()
+	if st.Hits != 0 || st.Misses == 0 || st.Stores != st.Misses {
+		t.Fatalf("cold run stats = %+v, want all misses stored", st)
+	}
+
+	warm := runAllExperiments(cached...)
+	if warm != baseline {
+		t.Errorf("warm cached run differs from uncached baseline\n%s", firstDiff(baseline, warm))
+	}
+	st2 := cache.Stats()
+	if st2.Hits != st.Misses {
+		t.Errorf("warm run scored %d hits over %d stored points — not fully served from cache",
+			st2.Hits-st.Hits, st.Stores)
+	}
+	if st2.Misses != st.Misses {
+		t.Errorf("warm run missed %d times, want 0", st2.Misses-st.Misses)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/collectives"
 	"repro/internal/grid"
 	"repro/internal/machine"
+	"repro/internal/simcache"
 )
 
 // BenchmarkSweepOverhead measures the harness's per-point cost (queueing,
@@ -57,5 +58,32 @@ func BenchmarkSweepScan(b *testing.B) {
 				r.Sweep("scan", 16, scanPoint)
 			}
 		})
+	}
+}
+
+// BenchmarkCacheHit measures the same 16-point scan sweep served entirely
+// from a warmed result cache — the speedup spatiald and the -cache CLI
+// modes deliver on repeat runs. The reported hit_rate metric (1.0 here)
+// tells bench-compare the timing measured cache lookups, not simulation,
+// so it is never compared against a cold baseline's number.
+func BenchmarkCacheHit(b *testing.B) {
+	cache := simcache.New(simcache.Memory(), 0)
+	warm := New(1, WithWorkers(1), WithCache(cache), WithCacheVersion("bench"))
+	warm.Sweep("scan", 16, scanPoint)
+	before := cache.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := New(1, WithWorkers(1), WithCache(cache), WithCacheVersion("bench"))
+		if s := r.Go("scan", 16, scanPoint); s.CacheHits() != 16 {
+			s.Rows()
+			b.Fatalf("cache hits = %d, want 16", s.CacheHits())
+		}
+	}
+	b.StopTimer()
+	st := cache.Stats()
+	hits := st.Hits - before.Hits
+	if lookups := hits + st.Misses - before.Misses; lookups > 0 {
+		b.ReportMetric(float64(hits)/float64(lookups), "hit_rate")
 	}
 }

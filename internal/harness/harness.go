@@ -23,9 +23,11 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/simcache"
 	"repro/internal/trace"
 )
 
@@ -217,11 +219,38 @@ func WithCriticalPathCheck() Option {
 	return func(r *Runner) { r.cpCheck = true }
 }
 
+// WithCache consults a content-addressed result cache before running each
+// sweep point. Hits are resolved at enqueue time: the point's rows come
+// straight from the cache, it never enters the work queue, leases no
+// machine, and skips critical-path verification (the rows were verified
+// when first simulated and stored *after* that check passed — re-verifying
+// would require re-simulating, which is the cost the cache exists to
+// skip). Cost-weighted scheduling, progress and deadlines therefore apply
+// only to the misses. Misses run normally — WithCriticalPathCheck still
+// fires on them — and their rows are stored once the point (and its
+// verification) completes.
+//
+// Keys cover (sweep name, point index, runner seed, shards, batch,
+// congestion, code version), exactly the inputs that determine a point's
+// rows; see simcache.Key. Every sweep is byte-deterministic in those
+// inputs, so a hit is exact, not approximate.
+func WithCache(c *simcache.Cache) Option {
+	return func(r *Runner) { r.cache = c }
+}
+
+// WithCacheVersion overrides the code-version component of cache keys
+// (default simcache.CodeVersion()). Tests use it to pin addresses;
+// production runners should leave it alone.
+func WithCacheVersion(v string) Option {
+	return func(r *Runner) { r.cacheVersion = v }
+}
+
 // Runner executes sweeps on a bounded worker pool. Sweeps enqueued while
 // others are still running share the same workers, so an experiment can
 // overlap several sweeps by calling Go for each and collecting Rows in
-// order. A Runner is safe for use from one coordinating goroutine; points
-// run on internal workers.
+// order — and Go may be called from several goroutines at once, which is
+// how the simulation service multiplexes jobs onto one pooled engine.
+// Points run on internal workers.
 type Runner struct {
 	workers      int
 	seed         int64
@@ -232,6 +261,8 @@ type Runner struct {
 	largestFirst bool
 	shards       int
 	batchSends   bool
+	cache        *simcache.Cache
+	cacheVersion string
 
 	pool sync.Pool // *machine.Machine, recycled via Reset
 
@@ -243,6 +274,8 @@ type Runner struct {
 	total     int
 	doneCost  float64
 	totalCost float64
+
+	rowsSimulated atomic.Int64
 
 	progressMu sync.Mutex
 }
@@ -257,11 +290,36 @@ func New(seed int64, opts ...Option) *Runner {
 	if r.workers < 1 {
 		r.workers = 1
 	}
+	if r.cache != nil && r.cacheVersion == "" {
+		r.cacheVersion = simcache.CodeVersion()
+	}
 	return r
 }
 
 // Workers returns the configured worker count.
 func (r *Runner) Workers() int { return r.workers }
+
+// RowsSimulated reports how many rows the runner's points have actually
+// produced by simulation — cache hits excluded. The service's /metrics
+// endpoint exposes it next to the cache hit/miss counters.
+func (r *Runner) RowsSimulated() int64 { return r.rowsSimulated.Load() }
+
+// cacheKey builds the content address of one point of a sweep.
+func (r *Runner) cacheKey(s *Sweep, idx int) simcache.Key {
+	shards := r.shards
+	if shards < 1 {
+		shards = 1
+	}
+	return simcache.Key{
+		Sweep:      s.name,
+		Point:      idx,
+		Seed:       r.seed,
+		Shards:     shards,
+		Batch:      r.batchSends,
+		Congestion: s.cong,
+		Version:    r.cacheVersion,
+	}
+}
 
 // Sweep is a handle to an in-flight sweep; Rows blocks for its results.
 type Sweep struct {
@@ -272,10 +330,18 @@ type Sweep struct {
 	deadline time.Time
 	rows     [][]Row
 	wg       sync.WaitGroup
+	prog     func(done, total int, doneCost, totalCost float64)
 
-	mu      sync.Mutex
-	pan     *PointPanic
-	skipped int
+	mu        sync.Mutex
+	pan       *PointPanic
+	skipped   int
+	hits      int
+	done      int
+	total     int
+	doneCost  float64
+	totalCost float64
+
+	progMu sync.Mutex
 }
 
 // SweepOption configures one sweep.
@@ -316,12 +382,52 @@ func WithDeadline(d time.Duration) SweepOption {
 	}
 }
 
+// WithSweepProgress installs a per-sweep completion callback, invoked with
+// this sweep's finished/enqueued point counts and summed cost hints every
+// time one of its points resolves. Cache hits resolve at enqueue (so a
+// fully cached sweep reports 100% immediately) and deadline-skipped points
+// count as resolved — done always reaches total. Unlike the runner-level
+// WithProgress, which aggregates every sweep on the pool, this is the
+// honest per-job signal the simulation service streams to pollers. Calls
+// arrive from worker goroutines (serialized per sweep).
+func WithSweepProgress(f func(done, total int, doneCost, totalCost float64)) SweepOption {
+	return func(s *Sweep) { s.prog = f }
+}
+
 // Skipped reports how many points were dropped by the sweep's deadline.
 // Call it after Rows (it is racy while points are still in flight).
 func (s *Sweep) Skipped() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.skipped
+}
+
+// CacheHits reports how many of the sweep's points were served from the
+// runner's cache. Call it after Rows (it is racy while points are in
+// flight).
+func (s *Sweep) CacheHits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// finishPoint advances the sweep-local progress accounting and fires the
+// sweep's progress callback. The callback runs under progMu (not the state
+// mutex, so it may call Skipped/CacheHits), which serializes calls and
+// keeps their arguments monotone.
+func (s *Sweep) finishPoint(cost float64) {
+	s.progMu.Lock()
+	defer s.progMu.Unlock()
+	s.mu.Lock()
+	s.done++
+	s.doneCost += cost
+	done, total := s.done, s.total
+	doneCost, totalCost := s.doneCost, s.totalCost
+	f := s.prog
+	s.mu.Unlock()
+	if f != nil {
+		f(done, total, doneCost, totalCost)
+	}
 }
 
 // PointPanic is the panic value re-raised by Rows when a point panicked on
@@ -340,22 +446,48 @@ func (p *PointPanic) Error() string {
 
 // Go enqueues a sweep of n points and returns immediately. The name keys
 // the per-point RNG seeds, so renaming a sweep changes its workloads.
+// With WithCache, points whose results are already stored resolve here —
+// they never reach the queue, so scheduling and deadlines budget only the
+// misses.
 func (r *Runner) Go(name string, n int, point PointFunc, opts ...SweepOption) *Sweep {
 	s := &Sweep{name: name, point: point, rows: make([][]Row, n)}
 	for _, o := range opts {
 		o(s)
 	}
+	costs := make([]float64, n)
+	s.total = n
+	for i := range costs {
+		costs[i] = 1.0
+		if s.cost != nil {
+			costs[i] = s.cost(i)
+		}
+		s.totalCost += costs[i]
+	}
 	s.wg.Add(n)
+
+	// Cache lookups happen before the queue lock: the disk backend may
+	// touch files, and hits must not serialize the workers.
+	hit := make([]bool, n)
+	if r.cache != nil {
+		for i := 0; i < n; i++ {
+			if rows, ok := r.cache.Get(r.cacheKey(s, i)); ok {
+				s.rows[i] = rows
+				hit[i] = true
+			}
+		}
+	}
+
+	enqueued := 0
 	r.mu.Lock()
 	for i := 0; i < n; i++ {
-		c := 1.0
-		if s.cost != nil {
-			c = s.cost(i)
+		if hit[i] {
+			continue
 		}
-		r.queue = append(r.queue, task{s: s, idx: i, cost: c})
-		r.totalCost += c
+		r.queue = append(r.queue, task{s: s, idx: i, cost: costs[i]})
+		r.totalCost += costs[i]
+		enqueued++
 	}
-	r.total += n
+	r.total += enqueued
 	// Workers park themselves when the queue drains; top the pool back up
 	// to min(workers, pending).
 	for r.running < r.workers && r.running < len(r.queue)-r.head {
@@ -363,6 +495,17 @@ func (r *Runner) Go(name string, n int, point PointFunc, opts ...SweepOption) *S
 		go r.work()
 	}
 	r.mu.Unlock()
+
+	for i := 0; i < n; i++ {
+		if !hit[i] {
+			continue
+		}
+		s.mu.Lock()
+		s.hits++
+		s.mu.Unlock()
+		s.finishPoint(costs[i])
+		s.wg.Done()
+	}
 	return s
 }
 
@@ -426,6 +569,7 @@ func (r *Runner) work() {
 func (t task) run(r *Runner) {
 	s := t.s
 	defer s.wg.Done()
+	defer s.finishPoint(t.cost)
 	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
 		s.mu.Lock()
 		s.skipped++
@@ -448,6 +592,13 @@ func (t task) run(r *Runner) {
 	// resets the machine (the recover above turns a mismatch into the
 	// sweep's PointPanic).
 	env.verify()
+	r.rowsSimulated.Add(int64(len(s.rows[t.idx])))
+	// Store only rows that passed verification: a panic above skips both
+	// this Put and the row assignment it would have cached. Encode errors
+	// (exotic cell types) just leave the point uncached.
+	if r.cache != nil {
+		_ = r.cache.Put(r.cacheKey(s, t.idx), s.rows[t.idx])
+	}
 }
 
 func (r *Runner) tick(cost float64) {

@@ -84,6 +84,7 @@ type RunOption func(*runCfg)
 type runCfg struct {
 	maxPoints int
 	deadline  time.Duration
+	progress  func(done, total int, doneCost, totalCost float64)
 }
 
 // MaxPoints caps the number of points run, keeping the first k (sweeps
@@ -98,6 +99,13 @@ func MaxPoints(k int) RunOption {
 // means no budget.
 func Deadline(d time.Duration) RunOption {
 	return func(c *runCfg) { c.deadline = d }
+}
+
+// SweepProgress attaches a per-sweep progress callback to the invocation
+// (see WithSweepProgress) — the signal a long-running service streams back
+// to whoever submitted this sweep.
+func SweepProgress(f func(done, total int, doneCost, totalCost float64)) RunOption {
+	return func(c *runCfg) { c.progress = f }
 }
 
 // Go enqueues the named sweep on r and returns its handle, or an error for
@@ -123,6 +131,9 @@ func (g *Registry) Go(r *Runner, name string, opts ...RunOption) (*Sweep, error)
 	}
 	if cfg.deadline > 0 {
 		sweepOpts = append(sweepOpts[:len(sweepOpts):len(sweepOpts)], WithDeadline(cfg.deadline))
+	}
+	if cfg.progress != nil {
+		sweepOpts = append(sweepOpts[:len(sweepOpts):len(sweepOpts)], WithSweepProgress(cfg.progress))
 	}
 	return r.Go(spec.Name, n, spec.Point, sweepOpts...), nil
 }

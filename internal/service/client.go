@@ -1,0 +1,152 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a spatiald daemon. The zero HTTPClient means
+// http.DefaultClient.
+type Client struct {
+	// Base is the server address, e.g. "http://127.0.0.1:8053".
+	Base       string
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	base := strings.TrimSuffix(c.Base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return base + path
+}
+
+// errorOf decodes the server's {"error": ...} body into a Go error.
+func errorOf(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var doc struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &doc) == nil && doc.Error != "" {
+		return fmt.Errorf("spatiald: %s (HTTP %d)", doc.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("spatiald: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+func (c *Client) postJSON(path string, req any, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Post(c.url(path), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return errorOf(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.httpClient().Get(c.url(path))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return errorOf(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// SubmitSweep submits a sweep job and returns its ID.
+func (c *Client) SubmitSweep(req SweepRequest) (string, error) {
+	var doc struct {
+		ID string `json:"id"`
+	}
+	if err := c.postJSON("/v1/jobs/sweep", req, &doc); err != nil {
+		return "", err
+	}
+	return doc.ID, nil
+}
+
+// SubmitBoundcheck submits a conformance job and returns its ID.
+func (c *Client) SubmitBoundcheck(req BoundcheckRequest) (string, error) {
+	var doc struct {
+		ID string `json:"id"`
+	}
+	if err := c.postJSON("/v1/jobs/boundcheck", req, &doc); err != nil {
+		return "", err
+	}
+	return doc.ID, nil
+}
+
+// Job fetches a job's status document.
+func (c *Client) Job(id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.getJSON("/v1/jobs/"+id, &info)
+	return info, err
+}
+
+// Result fetches a finished job's raw result document.
+func (c *Client) Result(id string) ([]byte, error) {
+	resp, err := c.httpClient().Get(c.url("/v1/jobs/" + id + "/result"))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorOf(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Metrics fetches the daemon's metrics document.
+func (c *Client) Metrics() (Metrics, error) {
+	var m Metrics
+	err := c.getJSON("/metrics", &m)
+	return m, err
+}
+
+// Wait polls a job until it finishes (or ctx ends), invoking onProgress
+// (optional) after each poll. It returns the final status document; a
+// failed job is returned with a nil error — check info.Status.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, onProgress func(JobInfo)) (JobInfo, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		info, err := c.Job(id)
+		if err != nil {
+			return info, err
+		}
+		if onProgress != nil {
+			onProgress(info)
+		}
+		if info.Status != StatusRunning {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/harness"
+	"repro/internal/simcache"
+)
+
+// synthSweeps builds a registry of fast closed-form sweeps, so service
+// tests (and the spatiald -race smoke test) exercise the full pipeline
+// without minutes of simulation. perPoint > 0 adds a delay to every
+// point, for tests that need sweeps to overlap in time.
+func synthSweeps(perPoint time.Duration) func(quick bool) *harness.Registry {
+	return func(quick bool) *harness.Registry {
+		points := 6
+		if quick {
+			points = 3
+		}
+		reg := &harness.Registry{}
+		reg.MustRegister(harness.SweepSpec{Name: "syn/quadratic", Points: points,
+			Point: func(i int, env *harness.Env) []harness.Row {
+				if perPoint > 0 {
+					time.Sleep(perPoint)
+				}
+				n := float64(int(64) << uint(2*i))
+				return harness.One(n, n*n)
+			},
+			Cost: func(i int) float64 { return float64(int(1) << uint(2*i)) }})
+		reg.MustRegister(harness.SweepSpec{Name: "syn/linear", Points: points,
+			Point: func(i int, env *harness.Env) []harness.Row {
+				if perPoint > 0 {
+					time.Sleep(perPoint)
+				}
+				n := float64(int(64) << uint(2*i))
+				return harness.One(n, 3*n+env.Rng.Float64())
+			}})
+		return reg
+	}
+}
+
+func synthClaims() []bounds.Claim {
+	return []bounds.Claim{
+		{ID: "syn/quadratic/exp", Source: "test", Stated: "Θ(n²)",
+			Kind: bounds.Exponent, Sweep: "syn/quadratic", Col: 1, Want: 2.0, Tol: 0.1},
+		{ID: "syn/linear/exp", Source: "test", Stated: "Θ(n)",
+			Kind: bounds.Exponent, Sweep: "syn/linear", Col: 1, Want: 1.0, Tol: 0.1},
+	}
+}
+
+func testEngine(t *testing.T, mutate func(*Config)) (*Engine, *Client) {
+	t.Helper()
+	cfg := Config{
+		Workers:      2,
+		Cache:        simcache.New(simcache.Memory(), 0),
+		CacheVersion: "test",
+		Sweeps:       synthSweeps(0),
+		Claims:       synthClaims,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng := New(cfg)
+	srv := httptest.NewServer(eng.Handler())
+	t.Cleanup(srv.Close)
+	return eng, &Client{Base: srv.URL}
+}
+
+func waitDone(t *testing.T, c *Client, id string) JobInfo {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	info, err := c.Wait(ctx, id, 5*time.Millisecond, nil)
+	if err != nil {
+		t.Fatalf("wait %s: %v", id, err)
+	}
+	return info
+}
+
+func TestSweepJobLifecycle(t *testing.T) {
+	_, c := testEngine(t, nil)
+	id, err := c.SubmitSweep(SweepRequest{Name: "syn/quadratic", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitDone(t, c, id)
+	if info.Status != StatusDone {
+		t.Fatalf("job = %+v", info)
+	}
+	if info.Progress.Done != 3 || info.Progress.Total != 3 {
+		t.Errorf("progress = %+v, want 3/3", info.Progress)
+	}
+	data, err := c.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res SweepResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "syn/quadratic" || res.Seed != 1 || len(res.Rows) != 3 {
+		t.Errorf("result = %+v", res)
+	}
+	// The rows must equal a direct harness run of the same spec.
+	reg := synthSweeps(0)(true)
+	direct, err := reg.Run(harness.New(1, harness.WithWorkers(1)), "syn/quadratic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	directJSON, _ := json.Marshal(direct)
+	gotJSON, _ := json.Marshal(res.Rows)
+	if !bytes.Equal(directJSON, gotJSON) {
+		t.Errorf("served rows diverge from a direct run:\n got  %s\n want %s", gotJSON, directJSON)
+	}
+}
+
+func TestSweepJobErrors(t *testing.T) {
+	_, c := testEngine(t, nil)
+	if _, err := c.SubmitSweep(SweepRequest{Name: "syn/nope"}); err == nil {
+		t.Error("unknown sweep accepted")
+	}
+	if _, err := c.SubmitSweep(SweepRequest{}); err == nil {
+		t.Error("nameless sweep accepted")
+	}
+	if _, err := c.Job("j999"); err == nil {
+		t.Error("unknown job did not 404")
+	}
+	if _, err := c.SubmitBoundcheck(BoundcheckRequest{Run: "zzz/"}); err == nil {
+		t.Error("empty claim filter accepted")
+	}
+}
+
+// TestBoundcheckJobMatchesDirectCheck: the daemon's conformance document
+// must be byte-identical to bounds.Check + MarshalReportJSON run in
+// process with the same parameters — the property that lets a client
+// treat server verdicts and local verdicts interchangeably.
+func TestBoundcheckJobMatchesDirectCheck(t *testing.T) {
+	_, c := testEngine(t, nil)
+	id, err := c.SubmitBoundcheck(BoundcheckRequest{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := waitDone(t, c, id); info.Status != StatusDone {
+		t.Fatalf("job = %+v", info)
+	}
+	got, err := c.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := bounds.Check(harness.New(7, harness.WithWorkers(2)),
+		synthSweeps(0)(true), synthClaims(), bounds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bounds.MarshalReportJSON(rep, bounds.RunMeta{Quick: true, Seed: 7, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("server document diverges from direct check:\n got  %s\n want %s", got, want)
+	}
+}
+
+// TestWarmRepeatIsAllCacheHits: the second identical submission must be
+// answered entirely from the cache — same bytes, zero extra simulation.
+func TestWarmRepeatIsAllCacheHits(t *testing.T) {
+	eng, c := testEngine(t, nil)
+	first, err := c.SubmitBoundcheck(BoundcheckRequest{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := waitDone(t, c, first); info.CacheHits != 0 {
+		t.Errorf("cold job reported %d hits", info.CacheHits)
+	}
+	cold, _ := c.Result(first)
+	simulated := eng.Snapshot().RowsSimulated
+
+	second, err := c.SubmitBoundcheck(BoundcheckRequest{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitDone(t, c, second)
+	warm, _ := c.Result(second)
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("warm verdicts differ from cold:\n cold %s\n warm %s", cold, warm)
+	}
+	if info.CacheHits != 6 { // 3 points × 2 sweeps, quick
+		t.Errorf("warm job reported %d cache hits, want 6", info.CacheHits)
+	}
+	m := eng.Snapshot()
+	if m.RowsSimulated != simulated {
+		t.Errorf("warm job simulated %d extra rows", m.RowsSimulated-simulated)
+	}
+	if m.Cache.HitRate <= 0 {
+		t.Errorf("metrics hit rate = %v, want > 0", m.Cache.HitRate)
+	}
+}
+
+// TestOverlappingJobsCoalesce: two concurrent identical submissions share
+// one execution per sweep (the request batcher), and still both get full
+// results.
+func TestOverlappingJobsCoalesce(t *testing.T) {
+	eng, c := testEngine(t, func(cfg *Config) {
+		cfg.Sweeps = synthSweeps(30 * time.Millisecond)
+		cfg.Workers = 1
+	})
+	var ids [2]string
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := c.SubmitBoundcheck(BoundcheckRequest{Quick: true})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = id
+		}(i)
+	}
+	wg.Wait()
+	var docs [2][]byte
+	for i, id := range ids {
+		if info := waitDone(t, c, id); info.Status != StatusDone {
+			t.Fatalf("job %s = %+v", id, info)
+		}
+		docs[i], _ = c.Result(id)
+	}
+	if !bytes.Equal(docs[0], docs[1]) {
+		t.Error("coalesced jobs returned different documents")
+	}
+	m := eng.Snapshot()
+	if m.SweepsCoalesced == 0 {
+		t.Error("no sweep executions were coalesced across the two jobs")
+	}
+	// 2 sweeps × 3 quick points, once despite two jobs.
+	if m.RowsSimulated != 6 {
+		t.Errorf("simulated %d rows, want 6 (each sweep once)", m.RowsSimulated)
+	}
+}
+
+func TestRateLimitRejects(t *testing.T) {
+	_, c := testEngine(t, func(cfg *Config) {
+		cfg.RatePerSec = 0.001
+		cfg.Burst = 1
+	})
+	if _, err := c.SubmitSweep(SweepRequest{Name: "syn/linear", Quick: true}); err != nil {
+		t.Fatalf("first submission rejected: %v", err)
+	}
+	if _, err := c.SubmitSweep(SweepRequest{Name: "syn/linear", Quick: true}); err == nil {
+		t.Error("second submission not rate limited")
+	}
+}
+
+// TestShutdownDrainsInFlightJobs: Shutdown must reject new work
+// immediately but wait for running jobs, which still finish successfully.
+func TestShutdownDrainsInFlightJobs(t *testing.T) {
+	eng, c := testEngine(t, func(cfg *Config) {
+		cfg.Sweeps = synthSweeps(20 * time.Millisecond)
+		cfg.Workers = 1
+	})
+	id, err := c.SubmitSweep(SweepRequest{Name: "syn/quadratic", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := eng.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := c.SubmitSweep(SweepRequest{Name: "syn/linear", Quick: true}); err == nil {
+		t.Error("submission accepted while draining")
+	}
+	info, err := c.Job(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != StatusDone {
+		t.Errorf("in-flight job after drain = %+v, want done", info)
+	}
+}
+
+// TestDeadlineTruncatesJob: a tiny per-job timeout skips unstarted points
+// (harness.WithDeadline semantics) instead of hanging the job.
+func TestDeadlineTruncatesJob(t *testing.T) {
+	_, c := testEngine(t, func(cfg *Config) {
+		cfg.Sweeps = synthSweeps(20 * time.Millisecond)
+		cfg.Workers = 1
+		cfg.Cache = nil
+	})
+	id, err := c.SubmitSweep(SweepRequest{Name: "syn/quadratic", TimeoutMS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitDone(t, c, id)
+	if info.Status != StatusDone || info.Skipped == 0 {
+		t.Errorf("job = %+v, want done with skipped points", info)
+	}
+}
+
+func TestResultBeforeDoneConflicts(t *testing.T) {
+	_, c := testEngine(t, func(cfg *Config) {
+		cfg.Sweeps = synthSweeps(50 * time.Millisecond)
+		cfg.Workers = 1
+	})
+	id, err := c.SubmitSweep(SweepRequest{Name: "syn/quadratic", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Result(id); err == nil {
+		t.Error("result of a running job did not conflict")
+	}
+	waitDone(t, c, id)
+}

@@ -1,0 +1,95 @@
+package simcache
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Backend is the persistent layer under the LRU: one opaque encoded
+// document per content hash. Implementations must be safe for concurrent
+// use; Put must be atomic enough that a concurrent Get never observes a
+// partially written document.
+type Backend interface {
+	Get(hash string) (data []byte, ok bool, err error)
+	Put(hash string, data []byte) error
+}
+
+// memory is the in-process Backend: a mutex-guarded map. Useful in tests
+// and as a second cache tier when no directory is configured.
+type memory struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// Memory returns an empty in-memory backend.
+func Memory() Backend { return &memory{m: make(map[string][]byte)} }
+
+func (b *memory) Get(hash string) ([]byte, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	data, ok := b.m[hash]
+	return data, ok, nil
+}
+
+func (b *memory) Put(hash string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[hash] = append([]byte(nil), data...)
+	return nil
+}
+
+// dir is the flat-file Backend: <dir>/<hash>.json per entry. Hashes are
+// hex SHA-256, so names never collide or need escaping, and a cache dir
+// can be persisted/restored wholesale (the nightly CI does exactly that
+// with actions/cache). Writes go through a temp file + rename so readers
+// never see a torn document.
+type dir struct {
+	path string
+}
+
+// Dir returns a backend rooted at path, creating the directory if needed.
+func Dir(path string) (Backend, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	return &dir{path: path}, nil
+}
+
+func (b *dir) file(hash string) string { return filepath.Join(b.path, hash+".json") }
+
+func (b *dir) Get(hash string) ([]byte, bool, error) {
+	data, err := os.ReadFile(b.file(hash))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func (b *dir) Put(hash string, data []byte) error {
+	tmp, err := os.CreateTemp(b.path, "put-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, b.file(hash)); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package simcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// The row codec must round-trip every cell *exactly*: cached rows feed the
+// same table renderers and power-law fits as fresh rows, and the
+// repository's contract is byte-identical output. Plain JSON numbers lose
+// both the Go type (int vs int64 vs float64 — bounds.cellFloat and the
+// experiments' cellF type-switch on it) and low bits of large float64s, so
+// each cell is encoded as a single-entry object tagging its type:
+//
+//	{"s":"scan"}  string
+//	{"i":"42"}    int      (decimal string: JSON numbers round through float64)
+//	{"I":"42"}    int64
+//	{"f":"0x1.8p+01"}  float64, hex float — exact, including -0 and huge values
+//	{"b":true}    bool
+//
+// NaN/Inf never appear in sweep rows today, but the hex-float encoding
+// would carry them fine if they did ("NaN" / "+Inf" via strconv).
+
+type cell struct {
+	S  *string `json:"s,omitempty"`
+	I  *string `json:"i,omitempty"`
+	I6 *string `json:"I,omitempty"`
+	F  *string `json:"f,omitempty"`
+	B  *bool   `json:"b,omitempty"`
+}
+
+type document struct {
+	Rows [][]cell `json:"rows"`
+}
+
+func encodeRows(rows []Row) ([]byte, error) {
+	doc := document{Rows: make([][]cell, len(rows))}
+	for i, r := range rows {
+		cs := make([]cell, len(r))
+		for j, v := range r {
+			switch x := v.(type) {
+			case string:
+				s := x
+				cs[j] = cell{S: &s}
+			case int:
+				s := strconv.FormatInt(int64(x), 10)
+				cs[j] = cell{I: &s}
+			case int64:
+				s := strconv.FormatInt(x, 10)
+				cs[j] = cell{I6: &s}
+			case float64:
+				s := strconv.FormatFloat(x, 'x', -1, 64)
+				cs[j] = cell{F: &s}
+			case bool:
+				b := x
+				cs[j] = cell{B: &b}
+			default:
+				return nil, fmt.Errorf("unencodable row cell %T at row %d col %d", v, i, j)
+			}
+		}
+		doc.Rows[i] = cs
+	}
+	return json.Marshal(doc)
+}
+
+func decodeRows(data []byte) ([]Row, error) {
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(doc.Rows))
+	for i, cs := range doc.Rows {
+		r := make(Row, len(cs))
+		for j, c := range cs {
+			switch {
+			case c.S != nil:
+				r[j] = *c.S
+			case c.I != nil:
+				v, err := strconv.ParseInt(*c.I, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("row %d col %d: %w", i, j, err)
+				}
+				r[j] = int(v)
+			case c.I6 != nil:
+				v, err := strconv.ParseInt(*c.I6, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("row %d col %d: %w", i, j, err)
+				}
+				r[j] = v
+			case c.F != nil:
+				v, err := strconv.ParseFloat(*c.F, 64)
+				if err != nil {
+					return nil, fmt.Errorf("row %d col %d: %w", i, j, err)
+				}
+				r[j] = v
+			case c.B != nil:
+				r[j] = *c.B
+			default:
+				return nil, fmt.Errorf("row %d col %d: empty cell", i, j)
+			}
+		}
+		rows[i] = r
+	}
+	return rows, nil
+}
