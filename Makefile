@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check bench test bench-compare trace-smoke spatiald-smoke conformance conformance-full experiments-refresh staticcheck
+.PHONY: check bench test bench-compare trace-smoke spatiald-smoke tune-smoke conformance conformance-full experiments-refresh staticcheck
 
 # check is the full gate: build, vet, staticcheck, the race-enabled test
 # suite, the trace-artifact smoke test, the spatiald daemon smoke test and
@@ -12,6 +12,7 @@ check:
 	$(GO) test -race ./...
 	$(MAKE) trace-smoke
 	$(MAKE) spatiald-smoke
+	$(MAKE) tune-smoke
 	$(MAKE) conformance QUICK=1
 
 test:
@@ -91,6 +92,19 @@ bench-compare:
 # check` gate on it explicitly.
 spatiald-smoke:
 	$(GO) test -race -count 1 ./cmd/spatiald/ ./internal/service/
+
+# tune-smoke runs the layout/schedule auto-tuner end to end under the
+# race detector: the tuner and spatialtune test suites, then a real quick
+# tune through the result cache whose warm rerun must produce the
+# byte-identical JSON verdict document (the tuner's determinism contract:
+# output is a pure function of (workloads, sizes, seed)).
+tune-smoke:
+	$(GO) test -race -count 1 ./internal/tuner/ ./cmd/spatialtune/
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run -race ./cmd/spatialtune -quick -json -cache $$tmp/cache > $$tmp/a.json; \
+	$(GO) run -race ./cmd/spatialtune -quick -json -cache $$tmp/cache > $$tmp/b.json; \
+	cmp $$tmp/a.json $$tmp/b.json \
+		|| { echo "tune-smoke: warm rerun verdict differs" >&2; exit 1; }
 
 # trace-smoke runs one quick experiment with tracing and heatmap output on
 # and validates the trace_event JSON with cmd/tracecheck (-parallel 1 keeps

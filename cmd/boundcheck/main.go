@@ -44,16 +44,15 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/bounds"
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/service"
-	"repro/internal/simcache"
 )
 
 func main() {
@@ -77,15 +76,13 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 		jsonOut   = fs.Bool("json", false, "emit the verdicts as JSON")
 		list      = fs.Bool("list", false, "list registered claims and exit")
 		runFilter = fs.String("run", "", "only evaluate claims whose ID starts with this prefix")
-		seed      = fs.Int64("seed", 1, "random seed for workload generation")
-		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweep points")
-		shards    = fs.Int("shards", runtime.GOMAXPROCS(0), "intra-simulation shards per machine (1 = sequential rounds)")
-		batch     = fs.Bool("batch", true, "drive machines through the batched send API (counting-only fast path for data-oblivious sweeps)")
+		seed      = cliflags.AddSeed(fs)
+		pool      = cliflags.AddPool(fs)
 		maxPoints = fs.Int("maxpoints", 0, "cap every sweep at its first k points (0 = no cap)")
-		timeout   = fs.Duration("timeout", 0, "per-sweep wall-clock budget; unstarted points are skipped (0 = none)")
+		timeout   = cliflags.AddTimeout(fs)
 		progress  = fs.Bool("progress", false, "report completion and ETA on stderr (default true for full runs)")
-		cacheDir  = fs.String("cache", "", "directory for the content-addressed result cache (reruns serve hits instead of simulating)")
-		server    = fs.String("server", "", "run on this spatiald daemon (URL or host:port) instead of locally")
+		cacheFlag = cliflags.AddCache(fs, "")
+		server    = cliflags.AddServer(fs, "run on this spatiald daemon (URL or host:port) instead of locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -142,30 +139,27 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 	// the end of the run. Row order and RNG seeding are unaffected — and so
 	// are the sweep rows under -shards/-batch (sharding and the counting
 	// fast path change wall-clock only; see internal/machine).
-	opts := []harness.Option{harness.WithWorkers(*parallel), harness.WithLargestFirst()}
-	if *shards > 1 {
-		opts = append(opts, harness.WithShards(*shards))
+	opts := append(pool.HarnessOptions(), harness.WithLargestFirst())
+	cache, err := cacheFlag.Open()
+	if err != nil {
+		fmt.Fprintf(stderr, "boundcheck: -cache: %v\n", err)
+		return 2
 	}
-	if *batch {
-		opts = append(opts, harness.WithBatchSends())
-	}
-	var cache *simcache.Cache
-	if *cacheDir != "" {
-		backend, err := simcache.Dir(*cacheDir)
-		if err != nil {
-			fmt.Fprintf(stderr, "boundcheck: -cache: %v\n", err)
-			return 2
-		}
-		cache = simcache.New(backend, 0)
+	if cache != nil {
 		opts = append(opts, harness.WithCache(cache))
 	}
 	if *progress {
 		start := time.Now()
-		opts = append(opts, harness.WithWeightedProgress(func(done, total int, doneCost, totalCost float64) {
-			line := fmt.Sprintf("\r%d/%d points (%3.0f%% of est. cost%s)",
-				done, total, 100*doneCost/totalCost, etaSuffix(time.Since(start), doneCost, totalCost))
+		opts = append(opts, harness.WithWeightedProgress(func(p harness.Progress) {
+			// Cache hits carry no simulation time, so the ETA extrapolates
+			// from simulated cost only (Done−Hit over Total−Hit). An all-hit
+			// run still prints 100% instead of dividing by zero.
+			line := fmt.Sprintf("\r%d/%d points (%3.0f%% of est. cost%s%s)",
+				p.Done, p.Total, 100*p.Fraction(),
+				hitSuffix(p.Hits),
+				etaSuffix(time.Since(start), p.DoneCost-p.HitCost, p.TotalCost-p.HitCost))
 			fmt.Fprint(stderr, line)
-			if done == total {
+			if p.Done == p.Total {
 				fmt.Fprintln(stderr)
 			}
 		}))
@@ -180,17 +174,11 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 	if n := rep.Skipped(); n > 0 {
 		fmt.Fprintf(stderr, "boundcheck: -timeout %v skipped %d sweep points; claims judged on the points that ran\n", *timeout, n)
 	}
-	if cache != nil {
-		// Stats go to stderr only: the report (and its -json bytes) must be
-		// identical between cold and warm runs.
-		st := cache.Stats()
-		fmt.Fprintf(stderr, "boundcheck: cache: %d hits, %d misses, %d stored (dir %s)\n",
-			st.Hits, st.Misses, st.Stores, *cacheDir)
-	}
+	cacheFlag.ReportStats(stderr, "boundcheck", cache)
 
 	if *jsonOut {
 		if err := bounds.WriteReportJSON(stdout, rep, bounds.RunMeta{
-			Quick: *quick, Seed: *seed, MaxPoints: *maxPoints, Shards: *shards, Batch: *batch,
+			Quick: *quick, Seed: *seed, MaxPoints: *maxPoints, Shards: pool.Shards, Batch: pool.Batch,
 		}); err != nil {
 			fmt.Fprintf(stderr, "boundcheck: %v\n", err)
 			return 2
@@ -205,13 +193,22 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 }
 
 // etaSuffix renders a cost-weighted remaining-time estimate once enough of
-// the run has finished for extrapolation to mean anything.
+// the run has finished for extrapolation to mean anything. Callers pass
+// simulated (non-hit) cost so cached points don't skew the rate.
 func etaSuffix(elapsed time.Duration, doneCost, totalCost float64) string {
 	if doneCost <= 0 || totalCost <= doneCost {
 		return ""
 	}
 	eta := time.Duration(float64(elapsed) * (totalCost - doneCost) / doneCost)
 	return ", ETA " + eta.Round(time.Second).String()
+}
+
+// hitSuffix annotates progress lines with the cache-hit count, when any.
+func hitSuffix(hits int) string {
+	if hits == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %d cached", hits)
 }
 
 func writeTable(w io.Writer, rep bounds.Report) {

@@ -48,10 +48,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/service"
-	"repro/internal/simcache"
 	"repro/internal/trace"
 )
 
@@ -70,18 +70,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quick      = fs.Bool("quick", false, "smaller problem sizes")
 		csv        = fs.Bool("csv", false, "emit CSV series instead of tables where applicable")
 		jsonOut    = fs.Bool("json", false, "emit JSON tables instead of text")
-		seed       = fs.Int64("seed", 1, "random seed for workload generation")
-		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweep points")
-		shards     = fs.Int("shards", runtime.GOMAXPROCS(0), "intra-simulation shards per machine (1 = sequential rounds; output is identical for any value)")
-		batch      = fs.Bool("batch", true, "drive machines through the batched send API (counting-only fast path for data-oblivious sweeps; output is identical)")
+		seed       = cliflags.AddSeed(fs)
+		pool       = cliflags.AddPool(fs)
 		progress   = fs.Bool("progress", false, "report per-sweep point completion on stderr")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		traceOut   = fs.String("trace", "", "write a chrome://tracing / Perfetto trace of every message to this file (use -parallel 1 for readable scopes)")
 		heatOut    = fs.String("heatmap", "", "write a per-PE send/recv/link-load heatmap CSV to this file")
 		cpCheck    = fs.Bool("cpcheck", false, "verify every measurement's critical path against its Depth/Distance metrics (slow)")
-		cacheDir   = fs.String("cache", "", "directory for the content-addressed result cache (reruns serve hits instead of simulating)")
-		server     = fs.String("server", "", "submit -sweep to this spatiald daemon (URL or host:port) instead of running locally")
+		cacheFlag  = cliflags.AddCache(fs, "")
+		server     = cliflags.AddServer(fs, "submit -sweep to this spatiald daemon (URL or host:port) instead of running locally")
 		sweepName  = fs.String("sweep", "", "registered bound sweep to run via -server (\"list\" to enumerate)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -146,13 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	opts := []harness.Option{harness.WithWorkers(*parallel)}
-	if *shards > 1 {
-		opts = append(opts, harness.WithShards(*shards))
-	}
-	if *batch {
-		opts = append(opts, harness.WithBatchSends())
-	}
+	opts := pool.HarnessOptions()
 	if *progress {
 		opts = append(opts, harness.WithProgress(func(done, total int) {
 			fmt.Fprintf(stderr, "\r%d/%d points", done, total)
@@ -164,22 +156,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *cpCheck {
 		opts = append(opts, harness.WithCriticalPathCheck())
 	}
-	var cache *simcache.Cache
-	if *cacheDir != "" {
-		backend, err := simcache.Dir(*cacheDir)
-		if err != nil {
-			fmt.Fprintf(stderr, "spatialbench: -cache: %v\n", err)
-			return 2
-		}
-		cache = simcache.New(backend, 0)
+	cache, err := cacheFlag.Open()
+	if err != nil {
+		fmt.Fprintf(stderr, "spatialbench: -cache: %v\n", err)
+		return 2
+	}
+	if cache != nil {
 		opts = append(opts, harness.WithCache(cache))
 		// Hit/miss counts are reported after the run, on stderr only:
 		// stdout must stay byte-identical between cold and warm runs.
-		defer func() {
-			st := cache.Stats()
-			fmt.Fprintf(stderr, "spatialbench: cache: %d hits, %d misses, %d stored (dir %s)\n",
-				st.Hits, st.Misses, st.Stores, *cacheDir)
-		}()
+		defer cacheFlag.ReportStats(stderr, "spatialbench", cache)
 	}
 
 	// Observability sinks are shared by every worker, so they go behind one

@@ -32,11 +32,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/bounds"
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/service"
@@ -68,10 +68,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, prov pro
 	var (
 		addr     = fs.String("addr", "127.0.0.1:8053", "listen address (use :0 for a random port)")
 		addrFile = fs.String("addrfile", "", "write the bound address to this file once listening")
-		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per pool")
-		shards   = fs.Int("shards", runtime.GOMAXPROCS(0), "intra-simulation shards per machine")
-		batch    = fs.Bool("batch", true, "drive machines through the batched send API")
-		cacheDir = fs.String("cache", "", "directory for the persistent result cache (default: in-memory only)")
+		pool     = cliflags.AddPool(fs)
+		cacheFlg = cliflags.AddCache(fs, "directory for the persistent result cache (default: in-memory only)")
 		entries  = fs.Int("cache-entries", 4096, "in-memory LRU capacity, sweep points (0 = unbounded)")
 		rate     = fs.Float64("rate", 0, "max job submissions per second (0 = unlimited)")
 		burst    = fs.Int("burst", 0, "rate-limit burst (default: ceil(rate))")
@@ -81,21 +79,17 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, prov pro
 		return 2
 	}
 
-	var backend simcache.Backend
-	if *cacheDir != "" {
-		b, err := simcache.Dir(*cacheDir)
-		if err != nil {
-			fmt.Fprintf(stderr, "spatiald: -cache: %v\n", err)
-			return 2
-		}
-		backend = b
+	backend, err := cacheFlg.Backend()
+	if err != nil {
+		fmt.Fprintf(stderr, "spatiald: -cache: %v\n", err)
+		return 2
 	}
 	cache := simcache.New(backend, *entries)
 
 	eng := service.New(service.Config{
-		Workers:    *parallel,
-		Shards:     *shards,
-		Batch:      *batch,
+		Workers:    pool.Parallel,
+		Shards:     pool.Shards,
+		Batch:      pool.Batch,
 		Cache:      cache,
 		Sweeps:     func(quick bool) *harness.Registry { reg, _ := prov(quick); return reg },
 		Claims:     func() []bounds.Claim { _, claims := prov(false); return claims },

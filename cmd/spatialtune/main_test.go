@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestListWorkloads: -list names every tunable workload.
+func TestListWorkloads(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, w := range []string{"scan", "reduce", "sort", "spmv"} {
+		if !strings.Contains(out.String(), w) {
+			t.Errorf("-list missing workload %s:\n%s", w, out.String())
+		}
+	}
+}
+
+// TestJSONDeterministic: two identical invocations produce byte-identical
+// verdict documents, and the document carries the request parameters.
+func TestJSONDeterministic(t *testing.T) {
+	args := []string{"-quick", "-workload", "scan", "-objective", "edp", "-json", "-seed", "7"}
+	var a, b, errb bytes.Buffer
+	if code := run(args, &a, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if code := run(args, &b, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("repeat -json runs differ")
+	}
+	var rep report
+	if err := json.Unmarshal(a.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if rep.Seed != 7 || !rep.Quick || rep.Objective != "edp" || len(rep.Workloads) != 1 {
+		t.Errorf("report meta wrong: %+v", rep)
+	}
+	if len(rep.Workloads[0].Sizes) == 0 || len(rep.Workloads[0].Sizes[0].Pareto) == 0 {
+		t.Errorf("report carries no verdicts: %+v", rep.Workloads[0])
+	}
+}
+
+// TestTableOutput: the default table renders one row per (workload, n)
+// with a baseline comparison.
+func TestTableOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-quick", "-workload", "reduce"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "reduce") || !strings.Contains(out.String(), "baseline edp") {
+		t.Errorf("table output unexpected:\n%s", out.String())
+	}
+}
+
+// TestBadFlags: unknown workloads and objectives exit 2 without tuning.
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workload", "fft"},
+		{"-objective", "joules"},
+		{"-not-a-flag"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

@@ -126,15 +126,40 @@ func halfQuadrants(r grid.Rect) []grid.Rect {
 // row-major track of a square grid it is the naive binary-tree broadcast
 // baseline with Theta(n log n) energy (Section IV-C).
 func BroadcastTrack(m *machine.Machine, t grid.Track, reg machine.Reg) {
+	BroadcastTree(m, t, reg, 2)
+}
+
+// BroadcastTree is BroadcastTrack generalized to arity-way trees: the range
+// [lo, hi) splits into arity equal chunks (boundaries lo + i*(hi-lo)/arity),
+// lo sends to the head of every non-first chunk, and each chunk recurses.
+// Arity 2 reproduces BroadcastTrack's binary recursion exactly — same
+// messages in the same order. Higher arities trade depth (log_k levels)
+// against energy (longer average hop on index-contiguous tracks); the tree
+// arity is a mapping knob the tuner searches (internal/tuner).
+func BroadcastTree(m *machine.Machine, t grid.Track, reg machine.Reg, arity int) {
+	if arity < 2 {
+		panic(fmt.Sprintf("collectives: BroadcastTree arity %d < 2", arity))
+	}
 	var rec func(lo, hi int)
 	rec = func(lo, hi int) {
 		if hi-lo <= 1 {
 			return
 		}
-		mid := (lo + hi) / 2
-		m.Send(t.At(lo), reg, t.At(mid), reg)
-		rec(lo, mid)
-		rec(mid, hi)
+		for i := 1; i < arity; i++ {
+			head := lo + i*(hi-lo)/arity
+			prev := lo + (i-1)*(hi-lo)/arity
+			if head == prev || head == hi {
+				continue // empty chunk (hi-lo < arity)
+			}
+			m.Send(t.At(lo), reg, t.At(head), reg)
+		}
+		for i := 0; i < arity; i++ {
+			clo := lo + i*(hi-lo)/arity
+			chi := lo + (i+1)*(hi-lo)/arity
+			if chi > clo {
+				rec(clo, chi)
+			}
+		}
 	}
 	rec(0, t.Len())
 }

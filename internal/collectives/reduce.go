@@ -88,18 +88,41 @@ func reduce2D(m *machine.Machine, r grid.Rect, reg machine.Reg, op Op) {
 // row-major track of a square grid this is the Theta(n log n)-energy
 // logarithmic-depth baseline the paper improves on.
 func ReduceTrack(m *machine.Machine, t grid.Track, reg machine.Reg, op Op) {
+	ReduceTree(m, t, reg, op, 2)
+}
+
+// ReduceTree is ReduceTrack generalized to arity-way trees (the reverse of
+// BroadcastTree): each of the arity chunks of [lo, hi) reduces recursively,
+// then every non-first chunk head sends its partial result to lo, which
+// folds them in chunk order. Arity 2 reproduces ReduceTrack's binary
+// recursion exactly — same messages in the same order.
+func ReduceTree(m *machine.Machine, t grid.Track, reg machine.Reg, op Op, arity int) {
+	if arity < 2 {
+		panic(fmt.Sprintf("collectives: ReduceTree arity %d < 2", arity))
+	}
 	var rec func(lo, hi int)
 	rec = func(lo, hi int) {
 		if hi-lo <= 1 {
 			return
 		}
-		mid := (lo + hi) / 2
-		rec(lo, mid)
-		rec(mid, hi)
-		m.Send(t.At(mid), reg, t.At(lo), "reduce.in")
-		v := op(m.Get(t.At(lo), reg), m.Get(t.At(lo), "reduce.in"))
-		m.Del(t.At(lo), "reduce.in")
-		m.Set(t.At(lo), reg, v)
+		for i := 0; i < arity; i++ {
+			clo := lo + i*(hi-lo)/arity
+			chi := lo + (i+1)*(hi-lo)/arity
+			if chi > clo {
+				rec(clo, chi)
+			}
+		}
+		for i := 1; i < arity; i++ {
+			head := lo + i*(hi-lo)/arity
+			prev := lo + (i-1)*(hi-lo)/arity
+			if head == prev {
+				continue // empty chunk (hi-lo < arity)
+			}
+			m.Send(t.At(head), reg, t.At(lo), "reduce.in")
+			v := op(m.Get(t.At(lo), reg), m.Get(t.At(lo), "reduce.in"))
+			m.Del(t.At(lo), "reduce.in")
+			m.Set(t.At(lo), reg, v)
+		}
 	}
 	rec(0, t.Len())
 }

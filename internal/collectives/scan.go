@@ -238,3 +238,25 @@ func SegmentedScan(m *machine.Machine, r grid.Rect, reg, headReg machine.Reg, op
 		m.Set(c, reg, m.Get(c, reg).(Seg).Val)
 	}
 }
+
+// SegmentedScanTrack is SegmentedScan along an arbitrary track, realized
+// with the binary-tree ScanTrack: the element order is the track's, so
+// algorithms whose data is sorted along a non-Z-order curve (see
+// spmv.MultiplyMapped) scan in the order they sorted in. Same costs as
+// ScanTrack.
+func SegmentedScanTrack(m *machine.Machine, t grid.Track, reg, headReg machine.Reg, op Op, identity machine.Value) {
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		c := t.At(i)
+		head := i == 0
+		if v, ok := m.Lookup(c, headReg); ok && v.(bool) {
+			head = true
+		}
+		m.Set(c, reg, Seg{Val: m.Get(c, reg), Head: head})
+	}
+	ScanTrack(m, t, reg, Segmented(op), Seg{Val: identity})
+	for i := 0; i < n; i++ {
+		c := t.At(i)
+		m.Set(c, reg, m.Get(c, reg).(Seg).Val)
+	}
+}

@@ -1,0 +1,134 @@
+package collectives
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/machine"
+)
+
+// binaryBroadcastRef is the pre-generalization BroadcastTrack recursion,
+// kept verbatim as the byte-identity reference for BroadcastTree arity 2.
+func binaryBroadcastRef(m *machine.Machine, t grid.Track, reg machine.Reg) {
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo <= 1 {
+			return
+		}
+		mid := (lo + hi) / 2
+		m.Send(t.At(lo), reg, t.At(mid), reg)
+		rec(lo, mid)
+		rec(mid, hi)
+	}
+	rec(0, t.Len())
+}
+
+// binaryReduceRef is the pre-generalization ReduceTrack recursion.
+func binaryReduceRef(m *machine.Machine, t grid.Track, reg machine.Reg, op Op) {
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo <= 1 {
+			return
+		}
+		mid := (lo + hi) / 2
+		rec(lo, mid)
+		rec(mid, hi)
+		m.Send(t.At(mid), reg, t.At(lo), "reduce.in")
+		v := op(m.Get(t.At(lo), reg), m.Get(t.At(lo), "reduce.in"))
+		m.Del(t.At(lo), "reduce.in")
+		m.Set(t.At(lo), reg, v)
+	}
+	rec(0, t.Len())
+}
+
+func TestBroadcastTreeArity2MatchesBinary(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 16, 64, 100} {
+		r := grid.Rect{H: 1, W: n}
+		ref := machine.New()
+		ref.Set(r.Origin, "v", 1.5)
+		binaryBroadcastRef(ref, grid.RowMajor(r), "v")
+
+		got := machine.New()
+		got.Set(r.Origin, "v", 1.5)
+		BroadcastTree(got, grid.RowMajor(r), "v", 2)
+
+		if ref.Metrics() != got.Metrics() {
+			t.Fatalf("n=%d: arity-2 metrics %v differ from binary reference %v", n, got.Metrics(), ref.Metrics())
+		}
+		checkAll(t, got, r, "v", 1.5)
+	}
+}
+
+func TestReduceTreeArity2MatchesBinary(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 16, 64, 100} {
+		r := grid.Rect{H: 1, W: n}
+		ref := machine.New()
+		got := machine.New()
+		for i := 0; i < n; i++ {
+			ref.Set(r.At(0, i), "v", float64(i))
+			got.Set(r.At(0, i), "v", float64(i))
+		}
+		binaryReduceRef(ref, grid.RowMajor(r), "v", Add)
+		ReduceTree(got, grid.RowMajor(r), "v", Add, 2)
+		if ref.Metrics() != got.Metrics() {
+			t.Fatalf("n=%d: arity-2 metrics %v differ from binary reference %v", n, got.Metrics(), ref.Metrics())
+		}
+		want := float64(n*(n-1)) / 2
+		if v := got.Get(r.Origin, "v"); v != want {
+			t.Fatalf("n=%d: reduced to %v, want %v", n, v, want)
+		}
+	}
+}
+
+func TestTreeArityCorrectness(t *testing.T) {
+	for _, arity := range []int{2, 3, 4, 8} {
+		for _, n := range []int{1, 2, 4, 7, 16, 33, 64} {
+			r := grid.Rect{H: 1, W: n}
+
+			b := machine.New()
+			b.Set(r.Origin, "v", 9.0)
+			BroadcastTree(b, grid.RowMajor(r), "v", arity)
+			checkAll(t, b, r, "v", 9.0)
+
+			m := machine.New()
+			for i := 0; i < n; i++ {
+				m.Set(r.At(0, i), "v", float64(i+1))
+			}
+			ReduceTree(m, grid.RowMajor(r), "v", Add, arity)
+			want := float64(n*(n+1)) / 2
+			if v := m.Get(r.Origin, "v"); v != want {
+				t.Fatalf("arity=%d n=%d: reduced to %v, want %v", arity, n, v, want)
+			}
+		}
+	}
+}
+
+// Higher arity flattens the tree: depth must not increase with fan-out,
+// and at the extremes it must strictly decrease (the knob is real).
+func TestTreeArityDepthTradeoff(t *testing.T) {
+	const n = 256
+	r := grid.Rect{H: 1, W: n}
+	depth := func(arity int) int64 {
+		m := machine.New()
+		m.Set(r.Origin, "v", 1.0)
+		BroadcastTree(m, grid.RowMajor(r), "v", arity)
+		return m.Metrics().Depth
+	}
+	d2, d4, d8 := depth(2), depth(4), depth(8)
+	if d4 > d2 || d8 > d4 {
+		t.Fatalf("depth not monotone in arity: d2=%d d4=%d d8=%d", d2, d4, d8)
+	}
+	if d8 >= d2 {
+		t.Fatalf("arity 8 depth %d not below arity 2 depth %d", d8, d2)
+	}
+}
+
+func TestTreeRejectsBadArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BroadcastTree arity 1 did not panic")
+		}
+	}()
+	m := machine.New()
+	BroadcastTree(m, grid.RowMajor(grid.Rect{H: 1, W: 4}), "v", 1)
+}

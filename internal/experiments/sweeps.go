@@ -10,6 +10,7 @@ import (
 	"repro/internal/sortnet"
 	"repro/internal/spmv"
 	"repro/internal/tree"
+	"repro/internal/tuner"
 	"repro/internal/workload"
 )
 
@@ -430,6 +431,37 @@ func BoundSweeps(quick bool) *harness.Registry {
 				float64(dm.Distance), float64(pm.Distance))
 		},
 	})
+
+	// Tuned vs row-major-baseline mappings (internal/tuner): rows
+	// {n, tunedEDP, baselineEDP}. Each point evaluates the workload's whole
+	// candidate space on one shared input and reports the EDP-minimal
+	// configuration next to mapping.Default()'s — the headline "the tuner
+	// never loses to the naive mapping" claims read these. The candidates
+	// run sequentially inside the point (a point cannot nest a runner), so
+	// the per-point cost scales with the candidate count.
+	for _, name := range []string{"scan", "reduce", "sort"} {
+		w, ok := tuner.ByName(name)
+		if !ok {
+			panic("experiments: unknown tuner workload " + name)
+		}
+		ns := w.Sizes(quick)
+		reg.MustRegister(harness.SweepSpec{
+			Name:   "bounds/tuned-" + name,
+			Points: len(ns),
+			Cost: func(i int) float64 {
+				return float64(len(w.Candidates)) * w.Cost(ns[i])
+			},
+			Point: func(i int, env *harness.Env) []harness.Row {
+				cands := tuner.EvalPoint(w, ns[i], env)
+				best := tuner.MinEDP(cands)
+				base, ok := tuner.Baseline(cands)
+				if !ok {
+					panic("experiments: tuner workload " + w.Name + " has no baseline candidate")
+				}
+				return harness.One(ns[i], best.EDP(), base.EDP())
+			},
+		})
+	}
 
 	return reg
 }

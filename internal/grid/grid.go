@@ -158,6 +158,51 @@ func (t rowMajorTrack) At(i int) machine.Coord {
 // RowMajor returns the row-major track of a region.
 func RowMajor(r Rect) Track { return rowMajorTrack{r} }
 
+// TrackKind names a track constructor, so a layout choice can travel as
+// data (mapping configs, cache keys, CLI flags) and be instantiated on a
+// region only where the machine is at hand.
+type TrackKind string
+
+const (
+	TrackRowMajor TrackKind = "rowmajor"
+	TrackZOrder   TrackKind = "zorder"
+	TrackHilbert  TrackKind = "hilbert"
+)
+
+// TrackKinds lists every kind TrackFor accepts, in canonical order.
+func TrackKinds() []TrackKind {
+	return []TrackKind{TrackRowMajor, TrackZOrder, TrackHilbert}
+}
+
+// Valid reports whether the kind names a known track constructor.
+func (k TrackKind) Valid() bool {
+	switch k {
+	case TrackRowMajor, TrackZOrder, TrackHilbert:
+		return true
+	}
+	return false
+}
+
+// SquareOnly reports whether the kind's constructor requires a square
+// power-of-two region (the space-filling curves do; row-major does not).
+func (k TrackKind) SquareOnly() bool { return k != TrackRowMajor }
+
+// TrackFor instantiates the named track on r. It panics on an unknown kind
+// or on a region the kind cannot serve (ZOrder and Hilbert require square
+// power-of-two regions); callers enumerating layouts prune with Valid and
+// SquareOnly first.
+func TrackFor(k TrackKind, r Rect) Track {
+	switch k {
+	case TrackRowMajor:
+		return RowMajor(r)
+	case TrackZOrder:
+		return ZOrder(r)
+	case TrackHilbert:
+		return Hilbert(r)
+	}
+	panic(fmt.Sprintf("grid: unknown track kind %q", k))
+}
+
 type zOrderTrack struct{ r Rect }
 
 func (t zOrderTrack) Len() int { return t.r.Size() }

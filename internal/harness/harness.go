@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/mapping"
 	"repro/internal/simcache"
 	"repro/internal/trace"
 )
@@ -51,9 +52,20 @@ type Env struct {
 	Rng *rand.Rand
 
 	r    *Runner
+	s    *Sweep
 	cong bool
 	m    *machine.Machine
 	cp   *trace.CriticalPath
+}
+
+// Mapping returns the sweep's layout/schedule mapping (see WithMapping),
+// or mapping.Default() for unmapped sweeps. Points that honor it measure
+// the configuration the sweep was enqueued under.
+func (e *Env) Mapping() mapping.Mapping {
+	if e.s != nil && e.s.mapped {
+		return e.s.mapp
+	}
+	return mapping.Default()
 }
 
 // Machine returns the point's simulation machine, reset to a blank grid.
@@ -158,14 +170,47 @@ func WithProgress(f func(done, total int)) Option {
 	return func(r *Runner) { r.progress = f }
 }
 
+// Progress is a runner-level completion snapshot. Done/Total count every
+// resolved point, whether simulated or served from the cache at enqueue
+// time; DoneCost/TotalCost are the corresponding summed cost hints (see
+// WithPointCost). HitCost is the portion of DoneCost that resolved as a
+// cache hit — cost the run never spent wall-clock on. An ETA extrapolated
+// from DoneCost alone would treat free hits as evidence of speed and
+// predict near-zero remaining time on a warm cache; extrapolate from
+// (DoneCost − HitCost) instead. On a fully cached run DoneCost − HitCost
+// is zero: there is nothing to extrapolate from, and nothing left to
+// predict.
+type Progress struct {
+	Done, Total         int
+	DoneCost, TotalCost float64
+	Hits                int
+	HitCost             float64
+}
+
+// Fraction is the cost-weighted completion in [0, 1]. A run whose every
+// point resolved at enqueue (TotalCost == 0 never happens once points
+// exist, but a zero-cost hint sweep could produce it) counts as complete
+// when all points are done.
+func (p Progress) Fraction() float64 {
+	if p.TotalCost <= 0 {
+		if p.Total > 0 && p.Done >= p.Total {
+			return 1
+		}
+		return 0
+	}
+	return p.DoneCost / p.TotalCost
+}
+
 // WithWeightedProgress is WithProgress with cost weighting: the callback
-// additionally receives the summed cost hints (see WithPointCost) of the
-// finished and enqueued points. On sweeps whose point costs span orders
-// of magnitude — the large-n conformance tail — the cost fraction is the
-// honest completion estimate, where the raw point count would report a
-// sweep "90% done" while the 2^20 point is still running. Points without
-// a cost hint count as cost 1.
-func WithWeightedProgress(f func(done, total int, doneCost, totalCost float64)) Option {
+// receives the summed cost hints (see WithPointCost) of the finished and
+// enqueued points. On sweeps whose point costs span orders of magnitude —
+// the large-n conformance tail — the cost fraction is the honest
+// completion estimate, where the raw point count would report a sweep
+// "90% done" while the 2^20 point is still running. Points without a cost
+// hint count as cost 1. Cache hits resolve at enqueue time and are
+// reported immediately (a fully cached run still reaches Done == Total);
+// use Progress.HitCost to keep them out of wall-clock extrapolations.
+func WithWeightedProgress(f func(p Progress)) Option {
 	return func(r *Runner) { r.weighted = f }
 }
 
@@ -225,15 +270,17 @@ func WithCriticalPathCheck() Option {
 // machine, and skips critical-path verification (the rows were verified
 // when first simulated and stored *after* that check passed — re-verifying
 // would require re-simulating, which is the cost the cache exists to
-// skip). Cost-weighted scheduling, progress and deadlines therefore apply
-// only to the misses. Misses run normally — WithCriticalPathCheck still
-// fires on them — and their rows are stored once the point (and its
-// verification) completes.
+// skip). Cost-weighted scheduling and deadlines therefore budget only the
+// misses; progress callbacks still see the hits (resolved immediately,
+// flagged via Progress.HitCost), so a warm run reports completion instead
+// of silence. Misses run normally — WithCriticalPathCheck still fires on
+// them — and their rows are stored once the point (and its verification)
+// completes.
 //
 // Keys cover (sweep name, point index, runner seed, shards, batch,
-// congestion, code version), exactly the inputs that determine a point's
-// rows; see simcache.Key. Every sweep is byte-deterministic in those
-// inputs, so a hit is exact, not approximate.
+// congestion, mapping, code version), exactly the inputs that determine a
+// point's rows; see simcache.Key. Every sweep is byte-deterministic in
+// those inputs, so a hit is exact, not approximate.
 func WithCache(c *simcache.Cache) Option {
 	return func(r *Runner) { r.cache = c }
 }
@@ -255,7 +302,7 @@ type Runner struct {
 	workers      int
 	seed         int64
 	progress     func(done, total int)
-	weighted     func(done, total int, doneCost, totalCost float64)
+	weighted     func(p Progress)
 	sink         trace.Sink
 	cpCheck      bool
 	largestFirst bool
@@ -274,6 +321,8 @@ type Runner struct {
 	total     int
 	doneCost  float64
 	totalCost float64
+	hits      int
+	hitCost   float64
 
 	rowsSimulated atomic.Int64
 
@@ -317,6 +366,7 @@ func (r *Runner) cacheKey(s *Sweep, idx int) simcache.Key {
 		Shards:     shards,
 		Batch:      r.batchSends,
 		Congestion: s.cong,
+		Mapping:    s.mapStr,
 		Version:    r.cacheVersion,
 	}
 }
@@ -331,6 +381,9 @@ type Sweep struct {
 	rows     [][]Row
 	wg       sync.WaitGroup
 	prog     func(done, total int, doneCost, totalCost float64)
+	mapped   bool
+	mapp     mapping.Mapping
+	mapStr   string
 
 	mu        sync.Mutex
 	pan       *PointPanic
@@ -352,6 +405,22 @@ type SweepOption func(*Sweep)
 // the shared pool.
 func WithCongestion() SweepOption {
 	return func(s *Sweep) { s.cong = true }
+}
+
+// WithMapping attaches a layout/schedule mapping to the sweep, exposed to
+// its points via Env.Mapping. The mapping is deliberately NOT part of the
+// per-point RNG seed — that stays keyed on (runner seed, sweep name, point
+// index) — so two sweeps sharing a name but differing in mapping draw
+// identical workloads: candidate evaluations in a tuning run measure the
+// same inputs, and only the configuration under test differs. The mapping
+// IS part of the simcache key (its canonical string form), so cached rows
+// of different candidates never alias.
+func WithMapping(m mapping.Mapping) SweepOption {
+	return func(s *Sweep) {
+		s.mapped = true
+		s.mapp = m
+		s.mapStr = m.String()
+	}
 }
 
 // WithPointCost attaches a relative cost hint to each point of the sweep
@@ -477,17 +546,28 @@ func (r *Runner) Go(name string, n int, point PointFunc, opts ...SweepOption) *S
 		}
 	}
 
-	enqueued := 0
+	hitCount := 0
 	r.mu.Lock()
 	for i := 0; i < n; i++ {
+		// Every point — hit or miss — counts toward runner-level progress;
+		// hits resolve right here, so they advance done/doneCost too (and
+		// are flagged in HitCost: zero wall-clock was spent on them, which
+		// ETA extrapolation must know). Only misses enter the queue, so
+		// scheduling and deadlines still budget just the real work.
+		r.total++
+		r.totalCost += costs[i]
 		if hit[i] {
+			hitCount++
+			r.done++
+			r.doneCost += costs[i]
+			r.hits++
+			r.hitCost += costs[i]
 			continue
 		}
 		r.queue = append(r.queue, task{s: s, idx: i, cost: costs[i]})
-		r.totalCost += costs[i]
-		enqueued++
 	}
-	r.total += enqueued
+	p := r.snapshotLocked()
+	f, w := r.progress, r.weighted
 	// Workers park themselves when the queue drains; top the pool back up
 	// to min(workers, pending).
 	for r.running < r.workers && r.running < len(r.queue)-r.head {
@@ -495,6 +575,13 @@ func (r *Runner) Go(name string, n int, point PointFunc, opts ...SweepOption) *S
 		go r.work()
 	}
 	r.mu.Unlock()
+
+	if hitCount > 0 {
+		// One notification for the whole batch of enqueue-time hits: a
+		// fully cached run reports Done == Total (and prints its final
+		// progress line) instead of staying silent.
+		r.notify(f, w, p)
+	}
 
 	for i := 0; i < n; i++ {
 		if !hit[i] {
@@ -576,7 +663,7 @@ func (t task) run(r *Runner) {
 		s.mu.Unlock()
 		return
 	}
-	env := &Env{Rng: rand.New(rand.NewSource(pointSeed(r.seed, s.name, t.idx))), r: r, cong: s.cong}
+	env := &Env{Rng: rand.New(rand.NewSource(pointSeed(r.seed, s.name, t.idx))), r: r, s: s, cong: s.cong}
 	defer env.release()
 	defer func() {
 		if v := recover(); v != nil {
@@ -605,20 +692,35 @@ func (r *Runner) tick(cost float64) {
 	r.mu.Lock()
 	r.done++
 	r.doneCost += cost
-	done, total := r.done, r.total
-	doneCost, totalCost := r.doneCost, r.totalCost
+	p := r.snapshotLocked()
 	f, w := r.progress, r.weighted
 	r.mu.Unlock()
-	if f != nil || w != nil {
-		r.progressMu.Lock()
-		if f != nil {
-			f(done, total)
-		}
-		if w != nil {
-			w(done, total, doneCost, totalCost)
-		}
-		r.progressMu.Unlock()
+	r.notify(f, w, p)
+}
+
+// snapshotLocked captures runner-level progress; callers hold r.mu.
+func (r *Runner) snapshotLocked() Progress {
+	return Progress{
+		Done: r.done, Total: r.total,
+		DoneCost: r.doneCost, TotalCost: r.totalCost,
+		Hits: r.hits, HitCost: r.hitCost,
 	}
+}
+
+// notify delivers a progress snapshot to the installed callbacks,
+// serialized under progressMu so their arguments stay monotone.
+func (r *Runner) notify(f func(done, total int), w func(Progress), p Progress) {
+	if f == nil && w == nil {
+		return
+	}
+	r.progressMu.Lock()
+	if f != nil {
+		f(p.Done, p.Total)
+	}
+	if w != nil {
+		w(p)
+	}
+	r.progressMu.Unlock()
 }
 
 // pointSeed derives a point's RNG seed from (base seed, sweep name, point

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/simcache"
 )
 
 func TestWithLargestFirstOrder(t *testing.T) {
@@ -82,19 +84,15 @@ func TestWithDeadlineZeroMeansNone(t *testing.T) {
 }
 
 func TestWithWeightedProgress(t *testing.T) {
-	type snap struct {
-		done, total         int
-		doneCost, totalCost float64
-	}
-	ch := make(chan snap, 8)
-	r := New(1, WithWorkers(2), WithWeightedProgress(func(done, total int, doneCost, totalCost float64) {
-		ch <- snap{done, total, doneCost, totalCost}
+	ch := make(chan Progress, 8)
+	r := New(1, WithWorkers(2), WithWeightedProgress(func(p Progress) {
+		ch <- p
 	}))
 	r.Go("sched/weighted", 3, func(i int, env *Env) []Row {
 		return One(i)
 	}, WithPointCost(func(i int) float64 { return float64(int(1) << uint(i)) })).Rows()
 	// Rows can return before the final tick fires; drain all 3 callbacks.
-	var last snap
+	var last Progress
 	for i := 0; i < 3; i++ {
 		select {
 		case last = <-ch:
@@ -102,11 +100,58 @@ func TestWithWeightedProgress(t *testing.T) {
 			t.Fatalf("progress callback %d never arrived", i)
 		}
 	}
-	if last.done != 3 || last.total != 3 {
-		t.Errorf("final progress %d/%d, want 3/3", last.done, last.total)
+	if last.Done != 3 || last.Total != 3 {
+		t.Errorf("final progress %d/%d, want 3/3", last.Done, last.Total)
 	}
-	if last.doneCost != 7 || last.totalCost != 7 {
-		t.Errorf("final cost progress %v/%v, want 7/7 (1+2+4)", last.doneCost, last.totalCost)
+	if last.DoneCost != 7 || last.TotalCost != 7 {
+		t.Errorf("final cost progress %v/%v, want 7/7 (1+2+4)", last.DoneCost, last.TotalCost)
+	}
+	if last.Hits != 0 || last.HitCost != 0 {
+		t.Errorf("uncached run reported hits: %d (%v cost)", last.Hits, last.HitCost)
+	}
+	if last.Fraction() != 1 {
+		t.Errorf("final Fraction() = %v, want 1", last.Fraction())
+	}
+}
+
+// TestProgressCountsCacheHits: enqueue-time cache hits must still advance
+// runner-level progress (Done, DoneCost) and be flagged via Hits/HitCost —
+// a fully warm run previously produced no progress callbacks at all.
+func TestProgressCountsCacheHits(t *testing.T) {
+	cache := simcache.New(nil, 0)
+	point := func(i int, env *Env) []Row { return One(i) }
+	cost := WithPointCost(func(i int) float64 { return float64(i + 1) })
+
+	cold := New(1, WithWorkers(2), WithCache(cache))
+	cold.Go("sched/hits", 3, point, cost).Rows()
+
+	ch := make(chan Progress, 8)
+	warm := New(1, WithWorkers(2), WithCache(cache), WithWeightedProgress(func(p Progress) {
+		ch <- p
+	}))
+	warm.Go("sched/hits", 3, point, cost).Rows()
+	var last Progress
+	select {
+	case last = <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("warm all-hit run produced no progress callback")
+	}
+	for {
+		select {
+		case last = <-ch:
+			continue
+		default:
+		}
+		break
+	}
+	if last.Done != 3 || last.Total != 3 || last.Hits != 3 {
+		t.Errorf("warm progress = %+v, want Done=Total=Hits=3", last)
+	}
+	if last.HitCost != 6 || last.DoneCost != 6 {
+		t.Errorf("warm cost progress = %+v, want HitCost=DoneCost=6", last)
+	}
+	if last.Fraction() != 1 {
+		t.Errorf("warm Fraction() = %v, want 1", last.Fraction())
 	}
 }
 

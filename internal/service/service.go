@@ -195,9 +195,14 @@ type Progress struct {
 	TotalCost float64 `json:"total_cost"`
 }
 
-// Fraction is the cost-weighted completion in [0, 1].
+// Fraction is the cost-weighted completion in [0, 1]. A job whose every
+// point resolved from cache carries zero cost weight; it still reports 1
+// once all points are done rather than sitting at 0 forever.
 func (p Progress) Fraction() float64 {
 	if p.TotalCost <= 0 {
+		if p.Total > 0 && p.Done >= p.Total {
+			return 1
+		}
 		return 0
 	}
 	return p.DoneCost / p.TotalCost

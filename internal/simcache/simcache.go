@@ -43,6 +43,11 @@ type Row = []any
 //     shard-invariance regression would be a correctness bug dressed as a
 //     speedup, so the key is conservative. Congestion tracking genuinely
 //     changes what some sweeps report (MaxCongestion columns).
+//   - Mapping is the canonical layout/schedule string of the sweep's
+//     mapping (internal/mapping), empty for unmapped sweeps. Mapped sweeps
+//     share one name (and so one RNG stream — candidates measure identical
+//     workloads) while producing different rows per mapping, so the
+//     mapping must be part of the address.
 //   - Version pins the code that produced the rows; see CodeVersion.
 type Key struct {
 	Sweep      string
@@ -51,6 +56,7 @@ type Key struct {
 	Shards     int
 	Batch      bool
 	Congestion bool
+	Mapping    string
 	Version    string
 }
 
@@ -79,13 +85,14 @@ func (k Key) Hash() string {
 			h.Write([]byte{0})
 		}
 	}
-	writeStr("simcache/v1")
+	writeStr("simcache/v2")
 	writeStr(k.Sweep)
 	writeInt(int64(k.Point))
 	writeInt(k.Seed)
 	writeInt(int64(k.Shards))
 	writeBool(k.Batch)
 	writeBool(k.Congestion)
+	writeStr(k.Mapping)
 	writeStr(k.Version)
 	return hex.EncodeToString(h.Sum(nil))
 }

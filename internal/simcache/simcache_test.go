@@ -14,10 +14,11 @@ var golden = Key{Sweep: "bounds/scan", Point: 3, Seed: 1, Shards: 4, Batch: true
 // TestKeyHashGolden pins the key encoding: the hash must be this exact
 // string on every platform and run. If this test fails the encoding
 // changed, which silently orphans every persisted cache entry — bump the
-// "simcache/v1" tag deliberately and update the constant here if that is
-// intended.
+// "simcache/v2" tag deliberately and update the constant here if that is
+// intended. (v1 → v2 added the Mapping field; every v1 entry was orphaned
+// on purpose.)
 func TestKeyHashGolden(t *testing.T) {
-	const want = "de096af8bf1f077554577125f64d612bd6f910147b9c1845ac2b5930d41407d3"
+	const want = "ef77adb2edd7c612cf73e68421698fc0582a73de5071f1a4798bf74d49411b42"
 	if got := golden.Hash(); got != want {
 		t.Errorf("golden key hash drifted:\n got  %s\n want %s", got, want)
 	}
@@ -38,6 +39,7 @@ func TestKeyHashSensitivity(t *testing.T) {
 		"shards":     {Sweep: "bounds/scan", Point: 3, Seed: 1, Shards: 8, Batch: true, Version: "vcs:deadbeef"},
 		"batch":      {Sweep: "bounds/scan", Point: 3, Seed: 1, Shards: 4, Batch: false, Version: "vcs:deadbeef"},
 		"congestion": {Sweep: "bounds/scan", Point: 3, Seed: 1, Shards: 4, Batch: true, Congestion: true, Version: "vcs:deadbeef"},
+		"mapping":    {Sweep: "bounds/scan", Point: 3, Seed: 1, Shards: 4, Batch: true, Mapping: "track=zorder,arity=4,tile=square,sort=bitonic", Version: "vcs:deadbeef"},
 		"version":    {Sweep: "bounds/scan", Point: 3, Seed: 1, Shards: 4, Batch: true, Version: "vcs:cafef00d"},
 	}
 	seen := map[string]string{base: "base"}

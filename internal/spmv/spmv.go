@@ -82,8 +82,21 @@ const (
 
 // Multiply computes y = A*x with the direct sort+scan algorithm on machine
 // m. It lays out the matrix subgrid at the origin and the vector subgrid to
-// its right, runs the seven steps of Section VIII, and returns y.
+// its right, runs the seven steps of Section VIII, and returns y. The
+// matrix track is the paper's Z-order curve; MultiplyMapped exposes the
+// track as a tunable.
 func Multiply(m *machine.Machine, a Matrix, x []float64) ([]float64, error) {
+	return MultiplyMapped(m, a, x, grid.TrackZOrder)
+}
+
+// MultiplyMapped is Multiply with the matrix-subgrid track (the order the
+// triples are sorted along and scanned over) chosen by the caller: Z-order
+// is the paper's locality-preserving default, Hilbert trades slightly
+// different locality, row-major is the curve-free baseline. The matrix
+// subgrid is always a square power-of-two side, so every track kind is
+// valid. The vector and output subgrids stay row-major — they are
+// addressed pointwise, never scanned.
+func MultiplyMapped(m *machine.Machine, a Matrix, x []float64, kind grid.TrackKind) ([]float64, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,7 +111,7 @@ func Multiply(m *machine.Machine, a Matrix, x []float64) ([]float64, error) {
 	// x on a ceil(sqrt n) square to the right, y below x.
 	side := zorder.NextPow2(int(math.Ceil(math.Sqrt(float64(a.NNZ())))))
 	mat := grid.Square(machine.Coord{}, side)
-	mt := grid.ZOrder(mat)
+	mt := grid.TrackFor(kind, mat)
 	total := mat.Size()
 
 	vecSide := int(math.Ceil(math.Sqrt(float64(a.N))))
@@ -157,7 +170,17 @@ func Multiply(m *machine.Machine, a Matrix, x []float64) ([]float64, error) {
 			m.Set(c, regBV, 0.0)
 		}
 	}
-	collectives.SegmentedScan(m, mat, regBV, regHead, collectives.First, 0.0)
+	// Segmented scans must follow the order the triples were sorted in:
+	// the paper's Z-order track uses the energy-optimal quadtree scan,
+	// other tracks the tree scan along the curve.
+	segScan := func(op collectives.Op) {
+		if kind == grid.TrackZOrder {
+			collectives.SegmentedScan(m, mat, regBV, regHead, op, 0.0)
+		} else {
+			collectives.SegmentedScanTrack(m, mt, regBV, regHead, op, 0.0)
+		}
+	}
+	segScan(collectives.First)
 
 	// Step 4: local partial products.
 	for i := 0; i < total; i++ {
@@ -191,7 +214,7 @@ func Multiply(m *machine.Machine, a Matrix, x []float64) ([]float64, error) {
 		}
 		m.Set(c, regBV, prod)
 	}
-	collectives.SegmentedScan(m, mat, regBV, regHead, collectives.Add, 0.0)
+	segScan(collectives.Add)
 	m.Phase("spmv/route-out")
 	// A PE is the last of its segment iff its successor is a head (or it
 	// is the final PE); learn the successor's head flag in one round.

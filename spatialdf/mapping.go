@@ -1,0 +1,123 @@
+package spatialdf
+
+import (
+	"math"
+
+	"repro/internal/collectives"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/mapped"
+	"repro/internal/mapping"
+	"repro/internal/order"
+	"repro/internal/zorder"
+)
+
+// Mapping is a serializable layout/schedule configuration: which grid
+// track arrays live on (TrackRowMajor, TrackZOrder, TrackHilbert), the
+// broadcast/reduce tree arity, the processor-tile aspect ratio, and the
+// sorting algorithm. Scan, Reduce, Sort and SpMV honor the fields that
+// apply to them (see WithMapping); String/ParseMapping round-trip the
+// canonical form ("track=zorder,arity=4,tile=square,sort=merge") and
+// the JSON encoding is a plain struct, so a tuning verdict from
+// spatialtune names a configuration this package can replay exactly.
+type Mapping = mapping.Mapping
+
+// Track kinds a Mapping can place arrays on.
+const (
+	TrackRowMajor = grid.TrackRowMajor
+	TrackZOrder   = grid.TrackZOrder
+	TrackHilbert  = grid.TrackHilbert
+)
+
+// DefaultMapping is the naive baseline configuration: row-major layout,
+// binary trees, square tile, bitonic sort.
+func DefaultMapping() Mapping { return mapping.Default() }
+
+// ParseMapping reads a Mapping from its canonical string form. Omitted
+// fields keep their DefaultMapping value, so partial overrides like
+// "track=zorder" are valid.
+func ParseMapping(s string) (Mapping, error) { return mapping.Parse(s) }
+
+// WithMapping runs the operation under the given layout/schedule
+// configuration instead of the paper's fixed choices. Operations honor
+// the fields that apply to them — Scan the track, Reduce the track,
+// arity and tile, Sort the algorithm and (for network sorts) the track,
+// SpMV the matrix track — and ignore the rest. Without this option every
+// operation keeps its documented paper mapping (Z-order scans, quadrant
+// collectives, 2-D mergesort for Sort); note that differs from
+// DefaultMapping, which is the naive baseline the tuner measures
+// against. An invalid mapping is an option error, reported per the
+// Option contract.
+func WithMapping(m Mapping) Option {
+	return func(c *config) {
+		if err := m.Validate(); err != nil {
+			c.err = err
+			return
+		}
+		c.mapping, c.mapped = m, true
+	}
+}
+
+// scanMapped runs ScanWith's grid program under an explicit mapping.
+func scanMapped(op func(a, b float64) float64, identity float64, vals []float64, cfg config) ([]float64, Metrics) {
+	m, r := gridFor(len(vals), cfg, "scan")
+	t := mapped.ScanTrack(cfg.mapping, r)
+	for i := 0; i < r.Size(); i++ {
+		if i < len(vals) {
+			m.Set(t.At(i), "v", vals[i])
+		} else {
+			m.Set(t.At(i), "v", identity)
+		}
+	}
+	mapped.Scan(m, r, "v", func(a, b machine.Value) machine.Value {
+		return op(a.(float64), b.(float64))
+	}, identity, cfg.mapping)
+	out := make([]float64, len(vals))
+	for i := range out {
+		out[i] = m.Get(t.At(i), "v").(float64)
+	}
+	return out, fromMachine(m)
+}
+
+// reduceMapped runs Reduce's grid program under an explicit mapping.
+func reduceMapped(vals []float64, cfg config) (float64, Metrics) {
+	m := cfg.newMachine()
+	m.Phase("reduce")
+	r := mapped.ReduceRegion(paddedSize(len(vals)), cfg.mapping)
+	t := grid.RowMajor(r)
+	for i := 0; i < r.Size(); i++ {
+		v := 0.0
+		if i < len(vals) {
+			v = vals[i]
+		}
+		m.Set(t.At(i), "v", v)
+	}
+	mapped.Reduce(m, r, "v", collectives.Add, cfg.mapping)
+	return m.Get(r.Origin, "v").(float64), fromMachine(m)
+}
+
+// sortMapped runs Sort's grid program under an explicit mapping.
+func sortMapped(vals []float64, cfg config) ([]float64, Metrics) {
+	m, r := gridFor(len(vals), cfg, "sort/"+string(cfg.mapping.Sort))
+	t := mapped.SortTrack(cfg.mapping, r)
+	for i := 0; i < r.Size(); i++ {
+		v := math.Inf(1)
+		if i < len(vals) {
+			v = vals[i]
+		}
+		m.Set(t.At(i), "v", v)
+	}
+	mapped.Sort(m, r, "v", order.Float64, cfg.mapping)
+	out := make([]float64, len(vals))
+	for i := range out {
+		out[i] = m.Get(t.At(i), "v").(float64)
+	}
+	return out, fromMachine(m)
+}
+
+// paddedSize returns the square power-of-two grid size holding n
+// elements — the same padding rule as gridFor.
+func paddedSize(n int) int {
+	side := zorder.NextPow2(int(math.Ceil(math.Sqrt(float64(max(n, 1))))))
+	return side * side
+}

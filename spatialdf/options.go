@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/mapping"
 	"repro/internal/trace"
 )
 
@@ -47,6 +48,8 @@ type config struct {
 	seed       int64
 	shards     int
 	batchSends bool
+	mapping    mapping.Mapping
+	mapped     bool
 	err        error
 }
 

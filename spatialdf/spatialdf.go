@@ -179,7 +179,11 @@ func ScanWith(op func(a, b float64) float64, identity float64, vals []float64, o
 	if len(vals) == 0 {
 		return nil, Metrics{}
 	}
-	m, r := gridFor(len(vals), buildConfig(opts), "scan")
+	cfg := buildConfig(opts)
+	if cfg.mapped {
+		return scanMapped(op, identity, vals, cfg)
+	}
+	m, r := gridFor(len(vals), cfg, "scan")
 	t := grid.ZOrder(r)
 	for i := 0; i < r.Size(); i++ {
 		if i < len(vals) {
@@ -280,7 +284,11 @@ func Reduce(vals []float64, opts ...Option) (float64, Metrics) {
 	if len(vals) == 0 {
 		return 0, Metrics{}
 	}
-	m, r := gridFor(len(vals), buildConfig(opts), "reduce")
+	cfg := buildConfig(opts)
+	if cfg.mapped {
+		return reduceMapped(vals, cfg)
+	}
+	m, r := gridFor(len(vals), cfg, "reduce")
 	t := grid.RowMajor(r)
 	for i := 0; i < r.Size(); i++ {
 		v := 0.0
@@ -306,6 +314,12 @@ func BroadcastCost(n int, opts ...Option) Metrics {
 // mergesort (Theorem V.8: Theta(n^{3/2}) energy — matching the permutation
 // lower bound — O(log^3 n) depth, Theta(sqrt n) distance).
 func Sort(vals []float64, opts ...Option) ([]float64, Metrics) {
+	if cfg := buildConfig(opts); cfg.mapped {
+		if len(vals) == 0 {
+			return nil, Metrics{}
+		}
+		return sortMapped(vals, cfg)
+	}
 	return sortPadded(vals, opts, "sort/merge", func(m *machine.Machine, r grid.Rect) {
 		core.MergeSort(m, r, "v", order.Float64)
 	})
@@ -482,9 +496,14 @@ func (a Matrix) MultiplyDense(x []float64) []float64 {
 // VIII.2 (Theta(m^{3/2}) energy, O(log^3 n) depth, Theta(sqrt m) distance).
 func SpMV(a Matrix, x []float64, opts ...Option) (y []float64, met Metrics, err error) {
 	defer captureMemLimit(&err)
-	m := buildConfig(opts).newMachine()
+	cfg := buildConfig(opts)
+	track := grid.TrackZOrder
+	if cfg.mapped {
+		track = cfg.mapping.Track
+	}
+	m := cfg.newMachine()
 	m.Phase("spmv")
-	y, err = spmv.Multiply(m, a.internal(), x)
+	y, err = spmv.MultiplyMapped(m, a.internal(), x, track)
 	if err != nil {
 		return nil, Metrics{}, err
 	}
