@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check bench test bench-compare trace-smoke spatiald-smoke tune-smoke conformance conformance-full experiments-refresh staticcheck
+.PHONY: check bench test bench-compare trace-smoke spatiald-smoke tune-smoke graph-smoke conformance conformance-full experiments-refresh staticcheck
 
 # check is the full gate: build, vet, staticcheck, the race-enabled test
 # suite, the trace-artifact smoke test, the spatiald daemon smoke test and
@@ -13,6 +13,7 @@ check:
 	$(MAKE) trace-smoke
 	$(MAKE) spatiald-smoke
 	$(MAKE) tune-smoke
+	$(MAKE) graph-smoke
 	$(MAKE) conformance QUICK=1
 
 test:
@@ -105,6 +106,20 @@ tune-smoke:
 	$(GO) run -race ./cmd/spatialtune -quick -json -cache $$tmp/cache > $$tmp/b.json; \
 	cmp $$tmp/a.json $$tmp/b.json \
 		|| { echo "tune-smoke: warm rerun verdict differs" >&2; exit 1; }
+
+# graph-smoke gates the composed graph-analytics suite: the internal/graph
+# tests under the race detector (every algorithm checked against its host
+# reference, answers pinned across shards/batch/mappings), then the quick
+# graph bound claims through the result cache — the warm rerun must emit
+# the byte-identical verdict JSON, which is the suite's determinism
+# contract at the CLI boundary.
+graph-smoke:
+	$(GO) test -race -count 1 ./internal/graph/
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/boundcheck -quick -run graph/ -json -cache $$tmp/cache > $$tmp/a.json; \
+	$(GO) run ./cmd/boundcheck -quick -run graph/ -json -cache $$tmp/cache > $$tmp/b.json; \
+	cmp $$tmp/a.json $$tmp/b.json \
+		|| { echo "graph-smoke: warm rerun verdict differs" >&2; exit 1; }
 
 # trace-smoke runs one quick experiment with tracing and heatmap output on
 # and validates the trace_event JSON with cmd/tracecheck (-parallel 1 keeps

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/bounds"
+)
+
+// runCompare diffs two conformance documents (the -json output of two
+// boundcheck runs) claim by claim. It exists so the nightly job can hold
+// tonight's verdicts against last night's artifact: a claim that passed
+// before and fails now is a conformance regression and exits 1, with a
+// diff naming the flipped claims and both details. New, removed, and
+// newly-fixed claims are reported informationally — growing the registry
+// or repairing a bound is not a regression. Exit 2 is reserved for
+// unreadable documents, mirroring the main command's usage errors.
+func runCompare(oldPath, newPath string, stdout, stderr io.Writer) int {
+	oldRep, oldMeta, err := readReportFile(oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "boundcheck: -compare: %s: %v\n", oldPath, err)
+		return 2
+	}
+	newRep, newMeta, err := readReportFile(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "boundcheck: -compare: %s: %v\n", newPath, err)
+		return 2
+	}
+	if oldMeta.Quick != newMeta.Quick {
+		fmt.Fprintf(stderr, "boundcheck: -compare: warning: comparing a quick run against a full run (old quick=%v, new quick=%v)\n",
+			oldMeta.Quick, newMeta.Quick)
+	}
+
+	oldByID := make(map[string]bounds.Verdict, len(oldRep.Verdicts))
+	for _, v := range oldRep.Verdicts {
+		oldByID[v.ID] = v
+	}
+	newByID := make(map[string]bounds.Verdict, len(newRep.Verdicts))
+	for _, v := range newRep.Verdicts {
+		newByID[v.ID] = v
+	}
+
+	var regressed, fixed, added, removed []string
+	for _, v := range newRep.Verdicts {
+		prev, ok := oldByID[v.ID]
+		switch {
+		case !ok:
+			added = append(added, v.ID)
+		case prev.Pass && !v.Pass:
+			regressed = append(regressed, v.ID)
+		case !prev.Pass && v.Pass:
+			fixed = append(fixed, v.ID)
+		}
+	}
+	for _, v := range oldRep.Verdicts {
+		if _, ok := newByID[v.ID]; !ok {
+			removed = append(removed, v.ID)
+		}
+	}
+	sort.Strings(regressed)
+	sort.Strings(fixed)
+	sort.Strings(added)
+	sort.Strings(removed)
+
+	fmt.Fprintf(stdout, "compared %d claims (old) vs %d claims (new)\n",
+		len(oldRep.Verdicts), len(newRep.Verdicts))
+	for _, id := range added {
+		fmt.Fprintf(stdout, "  new claim:   %s (%s)\n", id, passWord(newByID[id].Pass))
+	}
+	for _, id := range removed {
+		fmt.Fprintf(stdout, "  removed:     %s (was %s)\n", id, passWord(oldByID[id].Pass))
+	}
+	for _, id := range fixed {
+		fmt.Fprintf(stdout, "  fixed:       %s\n    now:  %s\n", id, newByID[id].Detail)
+	}
+	for _, id := range regressed {
+		fmt.Fprintf(stdout, "  REGRESSION:  %s\n    was:  %s\n    now:  %s\n",
+			id, oldByID[id].Detail, newByID[id].Detail)
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(stdout, "\n%d claim(s) regressed from PASS to FAIL\n", len(regressed))
+		return 1
+	}
+	fmt.Fprintln(stdout, "no conformance regressions")
+	return 0
+}
+
+func readReportFile(path string) (bounds.Report, bounds.RunMeta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return bounds.Report{}, bounds.RunMeta{}, err
+	}
+	return bounds.ReadReportJSON(data)
+}
+
+func passWord(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
+}

@@ -17,6 +17,8 @@
 //	boundcheck -list           # list registered claims and exit
 //	boundcheck -cache DIR      # content-addressed result cache (see below)
 //	boundcheck -server URL     # run on a spatiald daemon instead of locally
+//	boundcheck -compare OLD.json NEW.json  # diff two -json runs; exit 1 on
+//	                           # any claim that flipped from PASS to FAIL
 //
 // -cache points at a directory of previously computed sweep rows keyed by
 // (sweep, point, seed, shards, batch, code version) — see
@@ -83,9 +85,17 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 		progress  = fs.Bool("progress", false, "report completion and ETA on stderr (default true for full runs)")
 		cacheFlag = cliflags.AddCache(fs, "")
 		server    = cliflags.AddServer(fs, "run on this spatiald daemon (URL or host:port) instead of locally")
+		compare   = fs.Bool("compare", false, "diff two -json verdict documents (OLD.json NEW.json); exit 1 on a PASS→FAIL flip")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "boundcheck: -compare takes exactly two arguments: OLD.json NEW.json")
+			return 2
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), stdout, stderr)
 	}
 	if *quick && *full {
 		fmt.Fprintln(stderr, "boundcheck: -quick and -full are mutually exclusive")
@@ -119,7 +129,10 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 			}
 		}
 		if len(kept) == 0 {
-			fmt.Fprintf(stderr, "boundcheck: no claims match -run %q\n", *runFilter)
+			fmt.Fprintf(stderr, "boundcheck: no claims match -run %q; registered IDs:\n", *runFilter)
+			for _, c := range claims {
+				fmt.Fprintf(stderr, "  %s\n", c.ID)
+			}
 			return 2
 		}
 		claims = kept

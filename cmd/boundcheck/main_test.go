@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -60,6 +62,124 @@ func TestExitCodes(t *testing.T) {
 				t.Errorf("exit = %d, want %d (stderr: %s)", got, tc.want, errOut.String())
 			}
 		})
+	}
+}
+
+// TestRunFilterListsClaimIDs: a -run prefix that matches nothing must name
+// every registered claim ID on stderr, so the caller can correct the typo
+// without a separate -list invocation.
+func TestRunFilterListsClaimIDs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if got := run([]string{"-run", "nope/"}, &out, &errOut, synthProvider(true)); got != 2 {
+		t.Fatalf("exit = %d, want 2", got)
+	}
+	if !strings.Contains(errOut.String(), "syn/exponent") {
+		t.Errorf("stderr does not list the registered claim IDs: %s", errOut.String())
+	}
+}
+
+// writeVerdictDoc renders a canonical conformance document with the given
+// claim verdicts, standing in for a stored nightly artifact.
+func writeVerdictDoc(t *testing.T, path string, verdicts map[string]bool) {
+	t.Helper()
+	var rep bounds.Report
+	ids := make([]string, 0, len(verdicts))
+	for id := range verdicts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rep.Verdicts = append(rep.Verdicts, bounds.Verdict{
+			ID: id, Pass: verdicts[id], Detail: fmt.Sprintf("detail for %s (pass=%v)", id, verdicts[id]),
+		})
+	}
+	data, err := bounds.MarshalReportJSON(rep, bounds.RunMeta{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareMode covers the nightly regression gate: only a PASS→FAIL
+// flip fails the comparison; new, removed, and fixed claims are reported
+// but benign.
+func TestCompareMode(t *testing.T) {
+	dir := t.TempDir()
+	oldDoc := filepath.Join(dir, "old.json")
+	writeVerdictDoc(t, oldDoc, map[string]bool{"a/ok": true, "a/broken": false, "a/gone": true})
+
+	cases := []struct {
+		name     string
+		verdicts map[string]bool
+		want     int
+		output   []string
+	}{
+		{"unchanged", map[string]bool{"a/ok": true, "a/broken": false, "a/gone": true},
+			0, []string{"no conformance regressions"}},
+		{"regression", map[string]bool{"a/ok": false, "a/broken": false, "a/gone": true},
+			1, []string{"REGRESSION:  a/ok", "was:", "now:", "1 claim(s) regressed"}},
+		{"fixed and grown", map[string]bool{"a/ok": true, "a/broken": true, "a/new": false},
+			0, []string{"fixed:       a/broken", "new claim:   a/new (FAIL)", "removed:     a/gone (was PASS)", "no conformance regressions"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			newDoc := filepath.Join(dir, "new.json")
+			writeVerdictDoc(t, newDoc, tc.verdicts)
+			var out, errOut bytes.Buffer
+			if got := run([]string{"-compare", oldDoc, newDoc}, &out, &errOut, synthProvider(true)); got != tc.want {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", got, tc.want, errOut.String())
+			}
+			for _, want := range tc.output {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("diff output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+// TestCompareModeUsage: bad arity and unreadable documents are usage
+// errors (exit 2), never silent successes.
+func TestCompareModeUsage(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	writeVerdictDoc(t, good, map[string]bool{"a/ok": true})
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-compare", good},
+		{"-compare", good, good, good},
+		{"-compare", good, filepath.Join(dir, "missing.json")},
+		{"-compare", bad, good},
+	} {
+		var out, errOut bytes.Buffer
+		if got := run(args, &out, &errOut, synthProvider(true)); got != 2 {
+			t.Errorf("%v: exit = %d, want 2 (stderr: %s)", args, got, errOut.String())
+		}
+	}
+}
+
+// TestCompareRealDocuments round-trips the real -json output through
+// -compare: a run compared against itself reports no regressions.
+func TestCompareRealDocuments(t *testing.T) {
+	var doc, errOut bytes.Buffer
+	if got := run([]string{"-quick", "-json"}, &doc, &errOut, synthProvider(true)); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errOut.String())
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, doc.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if got := run([]string{"-compare", path, path}, &out, &errOut, synthProvider(true)); got != 0 {
+		t.Fatalf("self-compare exit = %d\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "no conformance regressions") {
+		t.Errorf("self-compare output:\n%s", out.String())
 	}
 }
 

@@ -111,7 +111,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *expName != "all" {
 		if _, known := experiments.ByName(*expName); !known {
-			fmt.Fprintf(stderr, "unknown experiment %q (use -list)\n", *expName)
+			names := make([]string, len(exps))
+			for i, e := range exps {
+				names[i] = e.Name
+			}
+			sort.Strings(names)
+			fmt.Fprintf(stderr, "unknown experiment %q; available: all, %s\n", *expName, strings.Join(names, ", "))
 			return 2
 		}
 	}

@@ -74,6 +74,13 @@ func TestUnknownExperimentExitCode(t *testing.T) {
 	if !strings.Contains(errOut, "unknown experiment") || !strings.Contains(errOut, "no-such-experiment") {
 		t.Errorf("stderr = %q, want unknown-experiment diagnostic", errOut)
 	}
+	// The diagnostic enumerates the runnable names so a typo is one glance
+	// from its fix, not a second -list invocation.
+	for _, e := range experiments.All() {
+		if !strings.Contains(errOut, e.Name) {
+			t.Errorf("stderr does not offer experiment %q: %q", e.Name, errOut)
+		}
+	}
 	if out != "" {
 		t.Errorf("stdout = %q, want empty (validation happens before any sweep runs)", out)
 	}

@@ -66,6 +66,7 @@ func All() []Experiment {
 		{"treefix", "Sec. II-A vs [38]", "Euler-tour treefix sums at Theta(n) energy vs the tree-scan baseline", runTreefix},
 		{"depth-scaling", "Table I depth column", "fitted polylog degrees of depth for all four primitives", runDepthScaling},
 		{"congestion", "extension", "max per-link load (XY routing) of scans, sorts and broadcast", runCongestion},
+		{"graph", "composed workloads", "BFS, connected components, PageRank, triangles on the primitives", runGraph},
 	}
 }
 

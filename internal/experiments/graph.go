@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/graph"
+	"repro/internal/grid"
+	"repro/internal/harness"
+	"repro/internal/machine"
+)
+
+// The graph-analytics suite: BFS, connected components, PageRank and
+// triangle counting composed from the Table I primitives (segmented scan,
+// merge sort, treefix, SpMV, sorting networks), measured over two
+// synthetic families with opposite diameters — the 2D mesh (diameter
+// Θ(√n)) and an RMAT-ish power-law graph (diameter O(log n) whp). The
+// same generators back the bounds/graph-* sweeps and the spatialbench
+// "graph" table; the power-law family draws from the point's FNV-seeded
+// RNG, so rows stay byte-identical at any -parallel/-shards/-batch.
+
+// graphPageRankIters fixes the power-iteration count: enough to damp the
+// uniform start visibly, few enough that one point stays sweep-affordable.
+const graphPageRankIters = 4
+
+// meshGraph returns the √n x √n lattice (n must be a perfect square).
+func meshGraph(n int) *graph.Graph {
+	side := int(math.Round(math.Sqrt(float64(n))))
+	if side*side != n {
+		panic(fmt.Sprintf("experiments: graph sweep size %d is not a perfect square", n))
+	}
+	return graph.Mesh2D(side)
+}
+
+// graphAnswer sanity-checks an on-grid result against its host reference;
+// a mismatch panics so every sweep run (conformance included) is also a
+// correctness gate.
+func graphAnswer(ok bool, algo, family string, n int) {
+	if !ok {
+		panic(fmt.Sprintf("experiments: graph/%s on-grid result diverges from host reference (%s, n=%d)", algo, family, n))
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloatsTol(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MeasureBFS runs the level-synchronous BFS from vertex 0 and verifies
+// the levels against the host reference.
+func MeasureBFS(g *graph.Graph, algoFamily string, n int, env *harness.Env) machine.Metrics {
+	var levels []int
+	mm := env.Measure(func(m *machine.Machine) {
+		var err error
+		levels, err = graph.BFS(m, g, 0)
+		if err != nil {
+			panic(err)
+		}
+	})
+	graphAnswer(equalInts(levels, graph.HostBFS(g, 0)), "bfs", algoFamily, n)
+	return mm
+}
+
+// MeasureCC runs min-label hooking with treefix contraction and verifies
+// the labels against the union-find reference.
+func MeasureCC(g *graph.Graph, algoFamily string, n int, env *harness.Env) (machine.Metrics, int) {
+	var labels []int
+	var rounds int
+	mm := env.Measure(func(m *machine.Machine) {
+		var err error
+		labels, rounds, err = graph.Components(m, g)
+		if err != nil {
+			panic(err)
+		}
+	})
+	graphAnswer(equalInts(labels, graph.HostComponents(g)), "cc", algoFamily, n)
+	return mm, rounds
+}
+
+// MeasurePageRank runs iterated SpMV PageRank on the paper's Z-order
+// track and verifies the ranks against the host power iteration (to float
+// tolerance: the on-grid sums associate along the scan tree).
+func MeasurePageRank(g *graph.Graph, algoFamily string, n int, env *harness.Env) machine.Metrics {
+	var pr []float64
+	mm := env.Measure(func(m *machine.Machine) {
+		var err error
+		pr, err = graph.PageRank(m, g, 0.85, graphPageRankIters, grid.TrackZOrder)
+		if err != nil {
+			panic(err)
+		}
+	})
+	graphAnswer(equalFloatsTol(pr, graph.HostPageRank(g, 0.85, graphPageRankIters), 1e-9), "pagerank", algoFamily, n)
+	return mm
+}
+
+// MeasureTriangles runs the sortnet-based edge/wedge intersection and
+// verifies the count against the brute-force reference.
+func MeasureTriangles(g *graph.Graph, algoFamily string, n int, env *harness.Env) (machine.Metrics, int64) {
+	var count int64
+	mm := env.Measure(func(m *machine.Machine) {
+		var err error
+		count, err = graph.Triangles(m, g)
+		if err != nil {
+			panic(err)
+		}
+	})
+	graphAnswer(count == graph.HostTriangles(g), "triangles", algoFamily, n)
+	return mm, count
+}
+
+// graphSweepSizes are the per-algorithm vertex counts (perfect squares, so
+// the mesh family is exact). CC and PageRank re-sort the edge grid every
+// round/iteration, so their full tails stop earlier than BFS's.
+func graphSweepSizes(quick bool) map[string][]int {
+	return map[string][]int{
+		"bfs":       pick(quick, []int{64, 256, 1024}, []int{64, 256, 1024, 4096, 16384}),
+		"cc":        pick(quick, []int{64, 256, 1024}, []int{64, 256, 1024, 4096}),
+		"pagerank":  pick(quick, []int{64, 256, 1024}, []int{64, 256, 1024, 4096}),
+		"triangles": pick(quick, []int{64, 256, 1024}, []int{64, 256, 1024, 4096, 16384}),
+	}
+}
+
+// Column indices of the graph sweep row shape {n, meshE, meshD, rmatE,
+// rmatD}, exported for claim definitions.
+const (
+	GraphColN     = 0
+	GraphColMeshE = 1
+	GraphColMeshD = 2
+	GraphColRmatE = 3
+	GraphColRmatD = 4
+)
+
+// graphPoint measures one algorithm at size n on both families and emits
+// the canonical graph sweep row.
+func graphPoint(algo string, n int, env *harness.Env) []harness.Row {
+	mesh := meshGraph(n)
+	rmat := graph.PowerLaw(n, env.Rng)
+	run := func(g *graph.Graph, family string) machine.Metrics {
+		switch algo {
+		case "bfs":
+			return MeasureBFS(g, family, n, env)
+		case "cc":
+			mm, _ := MeasureCC(g, family, n, env)
+			return mm
+		case "pagerank":
+			return MeasurePageRank(g, family, n, env)
+		case "triangles":
+			mm, _ := MeasureTriangles(g, family, n, env)
+			return mm
+		}
+		panic("experiments: unknown graph algorithm " + algo)
+	}
+	mm := run(mesh, "mesh")
+	rm := run(rmat, "power-law")
+	return harness.One(n, float64(mm.Energy), float64(mm.Depth), float64(rm.Energy), float64(rm.Depth))
+}
+
+// graphCost approximates a point's message volume for scheduler hints:
+// all four algorithms are dominated by Θ(m^1.5)-class sorting over the
+// edge grid, with CC and PageRank repeating it per round/iteration.
+func graphCost(algo string) func(n int) float64 {
+	switch algo {
+	case "cc":
+		return func(n int) float64 { return costNSqrtN(2*n) * log2f(n) }
+	case "pagerank":
+		return func(n int) float64 { return costNSqrtN(2*n) * graphPageRankIters }
+	case "triangles":
+		return func(n int) float64 { return costNSqrtN(4*n) * log2f(n) }
+	}
+	return costNSqrtN
+}
+
+// registerGraphSweeps adds the bounds/graph-* sweeps to the conformance
+// registry. Row shape: {n, meshE, meshD, rmatE, rmatD} (see GraphCol*).
+func registerGraphSweeps(reg *harness.Registry, quick bool) {
+	sizesByAlgo := graphSweepSizes(quick)
+	for _, algo := range []string{"bfs", "cc", "pagerank", "triangles"} {
+		algo := algo
+		ns := sizesByAlgo[algo]
+		reg.MustRegister(harness.SweepSpec{
+			Name:   "bounds/graph-" + algo,
+			Points: len(ns),
+			Cost:   costOf(ns, graphCost(algo)),
+			Point: func(i int, env *harness.Env) []harness.Row {
+				return graphPoint(algo, ns[i], env)
+			},
+		})
+	}
+}
+
+// runGraph renders the graph-analytics suite: per-algorithm energy/depth
+// on both families, the per-family answers (eccentricity, component
+// count, top rank, triangles) and the fitted scaling exponents.
+func runGraph(cfg Config) {
+	algos := []string{"bfs", "cc", "pagerank", "triangles"}
+	sizesByAlgo := graphSweepSizes(cfg.Quick)
+	sweeps := make([]*harness.Sweep, len(algos))
+	for i, algo := range algos {
+		algo := algo
+		ns := sizesByAlgo[algo]
+		sweeps[i] = cfg.H.Go("graph/"+algo, len(ns), func(j int, env *harness.Env) []harness.Row {
+			row := graphPoint(algo, ns[j], env)[0]
+			return []harness.Row{append(harness.Row{algo}, row...)}
+		})
+	}
+
+	t := analysis.NewTable("algorithm", "n", "mesh energy", "mesh depth", "power-law energy", "power-law depth")
+	type fits struct{ meshE, rmatE float64 }
+	f := make([]fits, len(algos))
+	var depthRows [][]harness.Row
+	for i := range algos {
+		rows := sweeps[i].Rows()
+		addRows(t, rows)
+		f[i] = fits{
+			meshE: analysis.FitExponent(colPoints(rows, 1, 2)),
+			rmatE: analysis.FitExponent(colPoints(rows, 1, 4)),
+		}
+		depthRows = append(depthRows, rows)
+	}
+	emit(cfg, t)
+
+	fmt.Fprintln(cfg.Out)
+	v := analysis.NewTable("algorithm", "mesh E exp", "power-law E exp", "mesh depth growth", "power-law depth growth")
+	for i, algo := range algos {
+		rows := depthRows[i]
+		v.AddRow(algo, f[i].meshE, f[i].rmatE,
+			analysis.ClassifyGrowth(colPoints(rows, 1, 3)).String(),
+			analysis.ClassifyGrowth(colPoints(rows, 1, 5)).String())
+	}
+	fmt.Fprint(cfg.Out, v.String())
+	fmt.Fprintln(cfg.Out, "\ndepth provenance: BFS chains one segmented scan per level (mesh depth ~ sqrt(n) log n, power-law ~ log^2 n);")
+	fmt.Fprintln(cfg.Out, "CC chains O(log n) rounds of sort+scan+treefix (polylog); PageRank chains SpMV iterations (polylog);")
+	fmt.Fprintln(cfg.Out, "triangles is one bitonic pass over edges+wedges (log^2 of the record count). Every measurement is")
+	fmt.Fprintln(cfg.Out, "verified against a host reference inside the sweep, and depth witnesses are re-derived per")
+	fmt.Fprintln(cfg.Out, "measurement under -cpcheck (trace.CriticalPath).")
+}

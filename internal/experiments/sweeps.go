@@ -463,5 +463,9 @@ func BoundSweeps(quick bool) *harness.Registry {
 		})
 	}
 
+	// Graph-analytics suite (composed workloads): bounds/graph-{bfs, cc,
+	// pagerank, triangles}, rows {n, meshE, meshD, rmatE, rmatD}.
+	registerGraphSweeps(reg, quick)
+
 	return reg
 }

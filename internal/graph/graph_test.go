@@ -1,0 +1,264 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/machine"
+)
+
+// testGraphs returns the correctness corpus: generated families plus the
+// hand-built edge cases the issue names (empty, single vertex, self-loops,
+// duplicates, disconnected components).
+func testGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	return map[string]*Graph{
+		"empty":         FromEdges(0, nil),
+		"single-vertex": FromEdges(1, nil),
+		"self-loops":    FromEdges(4, [][2]int{{0, 0}, {1, 1}, {0, 1}, {2, 3}, {3, 3}}),
+		"duplicates":    FromEdges(3, [][2]int{{0, 1}, {1, 0}, {0, 1}, {1, 2}}),
+		"isolated":      FromEdges(5, [][2]int{{1, 3}}),
+		"two-components": FromEdges(8, [][2]int{
+			{0, 1}, {1, 2}, {2, 0}, // a triangle
+			{4, 5}, {5, 6}, {6, 7}, // a path, ids interleaved with nothing
+		}),
+		"path":      FromEdges(9, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}}),
+		"mesh-4x4":  Mesh2D(4),
+		"mesh-5x5":  Mesh2D(5),
+		"powerlaw":  PowerLaw(40, rng),
+		"powerlaw2": PowerLaw(97, rand.New(rand.NewSource(11))),
+		"complete": func() *Graph {
+			var es [][2]int
+			for u := 0; u < 7; u++ {
+				for v := u + 1; v < 7; v++ {
+					es = append(es, [2]int{u, v})
+				}
+			}
+			return FromEdges(7, es)
+		}(),
+	}
+}
+
+func TestFromEdgesShape(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 0}, {0, 1}, {1, 0}, {0, 1}, {2, 3}})
+	if g.M() != 2 {
+		t.Fatalf("M() = %d after dedupe/self-loop drop, want 2", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 1 || g.Degree(3) != 1 {
+		t.Fatalf("degrees = %d,%d want 1,1", g.Degree(0), g.Degree(3))
+	}
+	for name, g := range testGraphs(t) {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestMesh2D(t *testing.T) {
+	g := Mesh2D(4)
+	if g.N != 16 || g.M() != 24 {
+		t.Fatalf("4x4 mesh: n=%d m=%d, want 16, 24", g.N, g.M())
+	}
+	if HostTriangles(g) != 0 {
+		t.Fatal("mesh has triangles")
+	}
+}
+
+func TestPowerLawConnected(t *testing.T) {
+	g := PowerLaw(200, rand.New(rand.NewSource(3)))
+	labels := HostComponents(g)
+	for v, l := range labels {
+		if l != 0 {
+			t.Fatalf("power-law graph disconnected: label[%d] = %d", v, l)
+		}
+	}
+}
+
+func TestBFS(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		m := machine.New()
+		got, err := BFS(m, g, 0)
+		if g.N == 0 {
+			if err != nil || got != nil {
+				t.Fatalf("%s: BFS on empty graph = %v, %v", name, got, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := HostBFS(g, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: level[%d] = %d, want %d", name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBFSBadSource(t *testing.T) {
+	m := machine.New()
+	if _, err := BFS(m, Mesh2D(2), 9); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		m := machine.New()
+		got, rounds, err := Components(m, g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := HostComponents(g)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: label[%d] = %d, want %d (rounds=%d)", name, v, got[v], want[v], rounds)
+			}
+		}
+		if g.N > 0 && len(g.Adj) > 0 {
+			limit := 2*int(math.Ceil(math.Log2(float64(g.N)+1))) + 8
+			if rounds > limit {
+				t.Fatalf("%s: %d hooking rounds exceeds the O(log n) cap %d", name, rounds, limit)
+			}
+		}
+	}
+}
+
+// TestComponentsAdversarialPath pins the O(log n) round bound on the
+// interleaved-id path that defeats per-vertex hooking without the
+// per-representative aggregation step: 0-2-1-4-3-6-5-... erodes label
+// boundaries one vertex per round under naive min-neighbor hooking.
+func TestComponentsAdversarialPath(t *testing.T) {
+	const n = 64
+	var edges [][2]int
+	order := make([]int, n)
+	for i := range order {
+		if i%2 == 0 {
+			order[i] = i
+		} else if i+1 < n {
+			order[i] = i + 1
+		} else {
+			order[i] = i
+		}
+	}
+	seen := map[int]bool{}
+	var seq []int
+	for _, v := range order {
+		if !seen[v] {
+			seen[v] = true
+			seq = append(seq, v)
+		}
+	}
+	for i := 1; i < len(seq); i++ {
+		edges = append(edges, [2]int{seq[i-1], seq[i]})
+	}
+	g := FromEdges(n, edges)
+	m := machine.New()
+	labels, rounds, err := Components(m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := HostComponents(g)
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, labels[v], want[v])
+		}
+	}
+	if rounds > 20 {
+		t.Fatalf("adversarial path took %d rounds; hooking degraded past O(log n)", rounds)
+	}
+}
+
+func TestPageRank(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		m := machine.New()
+		got, err := PageRank(m, g, 0.85, 3, grid.TrackZOrder)
+		if g.N == 0 {
+			if err != nil || got != nil {
+				t.Fatalf("%s: PageRank on empty graph = %v, %v", name, got, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := HostPageRank(g, 0.85, 3)
+		sum := 0.0
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-9 {
+				t.Fatalf("%s: pr[%d] = %v, want %v", name, v, got[v], want[v])
+			}
+			sum += got[v]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: ranks sum to %v, want 1", name, sum)
+		}
+	}
+}
+
+func TestPageRankBadDamping(t *testing.T) {
+	m := machine.New()
+	if _, err := PageRank(m, Mesh2D(2), 1.0, 1, grid.TrackZOrder); err == nil {
+		t.Fatal("damping 1.0 accepted")
+	}
+}
+
+func TestTriangles(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		m := machine.New()
+		got, err := Triangles(m, g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if want := HostTriangles(g); got != want {
+			t.Fatalf("%s: %d triangles, want %d", name, got, want)
+		}
+	}
+}
+
+func TestTrianglesComplete(t *testing.T) {
+	// K7 has C(7,3) = 35 triangles; the brute-force reference itself is
+	// cross-checked here against the closed form.
+	g := testGraphs(t)["complete"]
+	if want := int64(35); HostTriangles(g) != want {
+		t.Fatalf("host reference: %d, want %d", HostTriangles(g), want)
+	}
+	m := machine.New()
+	got, err := Triangles(m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 35 {
+		t.Fatalf("Triangles(K7) = %d, want 35", got)
+	}
+}
+
+// TestAlgorithmsChargeCosts pins that the algorithms actually run on the
+// grid: every algorithm on a non-trivial graph must spend energy.
+func TestAlgorithmsChargeCosts(t *testing.T) {
+	g := Mesh2D(4)
+	check := func(name string, run func(m *machine.Machine) error) {
+		m := machine.New()
+		if err := run(m); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mm := m.Metrics()
+		if mm.Energy <= 0 || mm.Depth <= 0 {
+			t.Fatalf("%s: free lunch — energy=%d depth=%d", name, mm.Energy, mm.Depth)
+		}
+	}
+	check("bfs", func(m *machine.Machine) error { _, err := BFS(m, g, 0); return err })
+	check("cc", func(m *machine.Machine) error { _, _, err := Components(m, g); return err })
+	check("pagerank", func(m *machine.Machine) error {
+		_, err := PageRank(m, g, 0.85, 1, grid.TrackZOrder)
+		return err
+	})
+	check("triangles", func(m *machine.Machine) error { _, err := Triangles(m, Mesh2D(3)); return err })
+}

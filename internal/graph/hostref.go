@@ -1,0 +1,134 @@
+package graph
+
+// Host-side reference implementations. The on-grid algorithms must agree
+// with these exactly (BFS levels, component labels, triangle counts) or to
+// float tolerance (PageRank, whose on-grid additions associate along the
+// scan tree). The experiment sweeps replay them as built-in correctness
+// gates, so every conformance run also re-verifies the answers.
+
+// HostBFS is the reference breadth-first search: levels from src, -1 when
+// unreachable.
+func HostBFS(g *Graph, src int) []int {
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.N {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// HostComponents is the reference union-find labeling: every vertex maps
+// to the minimum vertex id of its connected component.
+func HostComponents(g *Graph) []int {
+	parent := make([]int, g.N)
+	for v := range parent {
+		parent[v] = v
+	}
+	var find func(int) int
+	find = func(v int) int {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			rv, rw := find(v), find(w)
+			if rv != rw {
+				// Union by minimum id keeps the labels canonical.
+				if rv < rw {
+					parent[rw] = rv
+				} else {
+					parent[rv] = rw
+				}
+			}
+		}
+	}
+	labels := make([]int, g.N)
+	for v := range labels {
+		labels[v] = find(v)
+	}
+	return labels
+}
+
+// HostPageRank is the reference damped power iteration with uniform
+// dangling-mass redistribution, matching PageRank's update rule.
+func HostPageRank(g *Graph, damping float64, iters int) []float64 {
+	if g.N == 0 {
+		return nil
+	}
+	n := float64(g.N)
+	pr := make([]float64, g.N)
+	for i := range pr {
+		pr[i] = 1 / n
+	}
+	y := make([]float64, g.N)
+	for it := 0; it < iters; it++ {
+		dangling := 0.0
+		for v := 0; v < g.N; v++ {
+			if g.Degree(v) == 0 {
+				dangling += pr[v]
+			}
+		}
+		for i := range y {
+			y[i] = 0
+		}
+		for u := 0; u < g.N; u++ {
+			if d := g.Degree(u); d > 0 {
+				share := pr[u] / float64(d)
+				for _, w := range g.Neighbors(u) {
+					y[w] += share
+				}
+			}
+		}
+		for v := range pr {
+			pr[v] = (1-damping)/n + damping*(y[v]+dangling/n)
+		}
+	}
+	return pr
+}
+
+// HostTriangles is the reference count: for every oriented wedge at its
+// (degree, id)-minimal apex, test the closing edge by adjacency lookup.
+func HostTriangles(g *Graph) int64 {
+	rank := func(v int) int64 { return int64(g.Degree(v))<<32 | int64(v) }
+	adj := make([]map[int]bool, g.N)
+	for v := 0; v < g.N; v++ {
+		adj[v] = make(map[int]bool, g.Degree(v))
+		for _, w := range g.Neighbors(v) {
+			adj[v][w] = true
+		}
+	}
+	var count int64
+	for u := 0; u < g.N; u++ {
+		var out []int
+		for _, w := range g.Neighbors(u) {
+			if rank(u) < rank(w) {
+				out = append(out, w)
+			}
+		}
+		for i := 0; i < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				if adj[out[i]][out[j]] {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

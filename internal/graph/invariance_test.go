@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/machine"
+)
+
+// TestAnswersInvariantAcrossExecution pins the separation between answers
+// and costs: sharding and batched sends are executor choices and must
+// change neither the results nor the cost metrics; the mapping (PageRank's
+// track kind) may change costs but never the fixpoint.
+func TestAnswersInvariantAcrossExecution(t *testing.T) {
+	g := PowerLaw(60, rand.New(rand.NewSource(21)))
+	type result struct {
+		levels    []int
+		labels    []int
+		triangles int64
+		metrics   [3]machine.Metrics
+	}
+	run := func(shards int, batch bool) result {
+		var res result
+		lease := func() *machine.Machine {
+			m := machine.New()
+			m.SetShards(shards)
+			m.SetBatchSends(batch)
+			return m
+		}
+		m := lease()
+		var err error
+		if res.levels, err = BFS(m, g, 0); err != nil {
+			t.Fatal(err)
+		}
+		res.metrics[0] = m.Metrics()
+		m = lease()
+		if res.labels, _, err = Components(m, g); err != nil {
+			t.Fatal(err)
+		}
+		res.metrics[1] = m.Metrics()
+		m = lease()
+		if res.triangles, err = Triangles(m, g); err != nil {
+			t.Fatal(err)
+		}
+		res.metrics[2] = m.Metrics()
+		return res
+	}
+
+	base := run(1, false)
+	for _, cfg := range []struct {
+		shards int
+		batch  bool
+	}{{1, true}, {2, true}, {4, true}, {4, false}} {
+		got := run(cfg.shards, cfg.batch)
+		if !reflect.DeepEqual(got.levels, base.levels) {
+			t.Fatalf("shards=%d batch=%v: BFS levels changed", cfg.shards, cfg.batch)
+		}
+		if !reflect.DeepEqual(got.labels, base.labels) {
+			t.Fatalf("shards=%d batch=%v: component labels changed", cfg.shards, cfg.batch)
+		}
+		if got.triangles != base.triangles {
+			t.Fatalf("shards=%d batch=%v: triangle count %d != %d", cfg.shards, cfg.batch, got.triangles, base.triangles)
+		}
+		for i, mm := range got.metrics {
+			if mm.Energy != base.metrics[i].Energy || mm.Depth != base.metrics[i].Depth ||
+				mm.Distance != base.metrics[i].Distance || mm.Messages != base.metrics[i].Messages {
+				t.Fatalf("shards=%d batch=%v: algorithm %d cost metrics drifted: %+v vs %+v",
+					cfg.shards, cfg.batch, i, mm, base.metrics[i])
+			}
+		}
+	}
+}
+
+// TestPageRankInvariantAcrossMappings pins that the track kind — a layout
+// choice — changes SpMV costs but never the ranks beyond scan-association
+// noise.
+func TestPageRankInvariantAcrossMappings(t *testing.T) {
+	g := PowerLaw(48, rand.New(rand.NewSource(5)))
+	kinds := []grid.TrackKind{grid.TrackZOrder, grid.TrackRowMajor, grid.TrackHilbert}
+	var base []float64
+	var baseEnergy int64
+	costsDiffer := false
+	for i, kind := range kinds {
+		m := machine.New()
+		pr, err := PageRank(m, g, 0.85, 4, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = pr
+			baseEnergy = m.Metrics().Energy
+			continue
+		}
+		for v := range base {
+			if math.Abs(pr[v]-base[v]) > 1e-9 {
+				t.Fatalf("kind %v: pr[%d] = %v, want %v", kind, v, pr[v], base[v])
+			}
+		}
+		if m.Metrics().Energy != baseEnergy {
+			costsDiffer = true
+		}
+	}
+	if !costsDiffer {
+		t.Fatal("every track kind produced identical energy; the mapping knob is dead")
+	}
+}
+
+// TestBFSDeterministicRerun pins byte-identical reruns on a fresh machine:
+// same graph, same source, same levels and identical cost metrics.
+func TestBFSDeterministicRerun(t *testing.T) {
+	g := Mesh2D(6)
+	m1, m2 := machine.New(), machine.New()
+	l1, err1 := BFS(m1, g, 7)
+	l2, err2 := BFS(m2, g, 7)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !reflect.DeepEqual(l1, l2) {
+		t.Fatal("BFS levels differ across reruns")
+	}
+	if m1.Metrics() != m2.Metrics() {
+		t.Fatalf("BFS metrics differ across reruns: %+v vs %+v", m1.Metrics(), m2.Metrics())
+	}
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/spmv"
+)
+
+// PageRank runs iters power iterations of damped PageRank on g and returns
+// the rank vector. Each iteration is one sparse matrix-vector product on
+// the paper's direct SpMV algorithm (internal/spmv, Theorem VIII.2) over
+// the column-stochastic transition matrix P with P[w][u] = 1/deg(u) for
+// every edge u—w, along the track chosen by kind (grid.TrackZOrder is the
+// paper's energy-optimal layout; the other kinds are the tuner's
+// alternatives). Dangling vertices (degree 0) spread their mass uniformly,
+// handled host-side like any other O(n) input-vector preparation:
+//
+//	pr' = (1-d)/n + d · (P·pr + dangling/n)
+//
+// Composed costs: iterations are genuinely dependent (each consumes the
+// previous vector), so for m directed non-zeros the run takes
+// Θ(iters · m^1.5) energy, O(iters · log³ n) depth and Θ(√m) distance —
+// the SpMV row of Table I scaled by the iteration count.
+//
+// Note the float64 caveat: ranks are exact only up to the scan-tree
+// association order, so results are bit-identical across shards/batch and
+// workers but carry ~1e-12-relative noise across different track kinds.
+func PageRank(m *machine.Machine, g *Graph, damping float64, iters int, kind grid.TrackKind) ([]float64, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if damping < 0 || damping >= 1 {
+		return nil, fmt.Errorf("graph: damping %v outside [0,1)", damping)
+	}
+	if g.N == 0 {
+		return nil, nil
+	}
+	n := float64(g.N)
+	pr := make([]float64, g.N)
+	for i := range pr {
+		pr[i] = 1 / n
+	}
+	if len(g.Adj) == 0 {
+		return pr, nil
+	}
+
+	a := spmv.Matrix{N: g.N, Entries: make([]spmv.Entry, 0, len(g.Adj))}
+	for u := 0; u < g.N; u++ {
+		inv := 1 / float64(g.Degree(u))
+		for _, w := range g.Neighbors(u) {
+			a.Entries = append(a.Entries, spmv.Entry{Row: w, Col: u, Val: inv})
+		}
+	}
+
+	for it := 0; it < iters; it++ {
+		m.Phase("graph/pagerank-iter")
+		dangling := 0.0
+		for v := 0; v < g.N; v++ {
+			if g.Degree(v) == 0 {
+				dangling += pr[v]
+			}
+		}
+		y, err := spmv.MultiplyMapped(m, a, pr, kind)
+		if err != nil {
+			return nil, err
+		}
+		for v := range pr {
+			pr[v] = (1-damping)/n + damping*(y[v]+dangling/n)
+		}
+	}
+	return pr, nil
+}
