@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check bench test bench-compare trace-smoke spatiald-smoke tune-smoke graph-smoke conformance conformance-full experiments-refresh staticcheck
+.PHONY: check bench test bench-compare trace-smoke spatiald-smoke tune-smoke graph-smoke backend-smoke conformance conformance-full experiments-refresh staticcheck
 
 # check is the full gate: build, vet, staticcheck, the race-enabled test
 # suite, the trace-artifact smoke test, the spatiald daemon smoke test and
@@ -14,6 +14,7 @@ check:
 	$(MAKE) spatiald-smoke
 	$(MAKE) tune-smoke
 	$(MAKE) graph-smoke
+	$(MAKE) backend-smoke
 	$(MAKE) conformance QUICK=1
 
 test:
@@ -120,6 +121,20 @@ graph-smoke:
 	$(GO) run ./cmd/boundcheck -quick -run graph/ -json -cache $$tmp/cache > $$tmp/b.json; \
 	cmp $$tmp/a.json $$tmp/b.json \
 		|| { echo "graph-smoke: warm rerun verdict differs" >&2; exit 1; }
+
+# backend-smoke gates the finite-hardware backend layer: the folded
+# mesh/torus machine tests under the race detector (sharded folded runs
+# must stay byte-identical to the sequential folded engine), then the
+# quick backend bound claims through the result cache — the warm rerun
+# must emit the byte-identical verdict JSON, so backend simcache keying
+# and verdict determinism are checked at the CLI boundary.
+backend-smoke:
+	$(GO) test -race -count 1 -run 'Backend|Fold' ./internal/machine/ ./internal/harness/ ./spatialdf/
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/boundcheck -quick -run backend/ -json -cache $$tmp/cache > $$tmp/a.json; \
+	$(GO) run ./cmd/boundcheck -quick -run backend/ -json -cache $$tmp/cache > $$tmp/b.json; \
+	cmp $$tmp/a.json $$tmp/b.json \
+		|| { echo "backend-smoke: warm rerun verdict differs" >&2; exit 1; }
 
 # trace-smoke runs one quick experiment with tracing and heatmap output on
 # and validates the trace_event JSON with cmd/tracecheck (-parallel 1 keeps

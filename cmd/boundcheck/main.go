@@ -16,6 +16,9 @@
 //	boundcheck -batch=false    # disable the batched/counting-only fast path
 //	boundcheck -list           # list registered claims and exit
 //	boundcheck -cache DIR      # content-addressed result cache (see below)
+//	boundcheck -backend mesh:8x8:4  # measure on a folded finite fabric
+//	                           # (claims still judge what they state; the
+//	                           # spec is recorded as "machine" in -json)
 //	boundcheck -server URL     # run on a spatiald daemon instead of locally
 //	boundcheck -compare OLD.json NEW.json  # diff two -json runs; exit 1 on
 //	                           # any claim that flipped from PASS to FAIL
@@ -84,11 +87,23 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 		timeout   = cliflags.AddTimeout(fs)
 		progress  = fs.Bool("progress", false, "report completion and ETA on stderr (default true for full runs)")
 		cacheFlag = cliflags.AddCache(fs, "")
+		backend   = cliflags.AddBackend(fs)
 		server    = cliflags.AddServer(fs, "run on this spatiald daemon (URL or host:port) instead of locally")
 		compare   = fs.Bool("compare", false, "diff two -json verdict documents (OLD.json NEW.json); exit 1 on a PASS→FAIL flip")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	bk, err := backend.Parse()
+	if err != nil {
+		fmt.Fprintf(stderr, "boundcheck: -backend: %v\n", err)
+		return 2
+	}
+	// The canonical spec travels into the JSON document (and to the
+	// daemon); ideal stays "" so pre-backend artifacts compare equal.
+	machineMeta := ""
+	if bk.Finite() {
+		machineMeta = bk.String()
 	}
 	if *compare {
 		if fs.NArg() != 2 {
@@ -117,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 		return runOnServer(*server, stdout, stderr, serverRun{
 			quick: *quick, seed: *seed, maxPoints: *maxPoints, timeout: *timeout,
 			filter: *runFilter, jsonOut: *jsonOut, progress: *progress,
+			backend: machineMeta,
 		})
 	}
 
@@ -152,7 +168,7 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 	// the end of the run. Row order and RNG seeding are unaffected — and so
 	// are the sweep rows under -shards/-batch (sharding and the counting
 	// fast path change wall-clock only; see internal/machine).
-	opts := append(pool.HarnessOptions(), harness.WithLargestFirst())
+	opts := append(pool.HarnessOptions(), harness.WithLargestFirst(), harness.WithBackend(bk))
 	cache, err := cacheFlag.Open()
 	if err != nil {
 		fmt.Fprintf(stderr, "boundcheck: -cache: %v\n", err)
@@ -192,6 +208,7 @@ func run(args []string, stdout, stderr io.Writer, prov provider) int {
 	if *jsonOut {
 		if err := bounds.WriteReportJSON(stdout, rep, bounds.RunMeta{
 			Quick: *quick, Seed: *seed, MaxPoints: *maxPoints, Shards: pool.Shards, Batch: pool.Batch,
+			Machine: machineMeta,
 		}); err != nil {
 			fmt.Fprintf(stderr, "boundcheck: %v\n", err)
 			return 2
@@ -246,6 +263,7 @@ type serverRun struct {
 	filter    string
 	jsonOut   bool
 	progress  bool
+	backend   string // canonical finite-backend spec, "" for ideal
 }
 
 // runOnServer submits the conformance run to a spatiald daemon, polls it
@@ -257,7 +275,7 @@ func runOnServer(server string, stdout, stderr io.Writer, sr serverRun) int {
 	c := &service.Client{Base: server}
 	id, err := c.SubmitBoundcheck(service.BoundcheckRequest{
 		Quick: sr.quick, Seed: sr.seed, MaxPoints: sr.maxPoints,
-		TimeoutMS: sr.timeout.Milliseconds(), Run: sr.filter,
+		TimeoutMS: sr.timeout.Milliseconds(), Run: sr.filter, Backend: sr.backend,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "boundcheck: %v\n", err)

@@ -23,6 +23,9 @@
 //	spatialbench -exp scan-ablation -quick -parallel 1 -trace out.json \
 //	    -heatmap out.csv              # trace to chrome://tracing + PE heatmap
 //	spatialbench -cache DIR          # reuse previously simulated sweep points
+//	spatialbench -backend torus:8x8:4    # fold onto a finite fabric (costs
+//	                                 # change, results don't; heatmaps show
+//	                                 # load on physical links)
 //	spatialbench -server URL -sweep table1/scan   # run a bound sweep on spatiald
 //	spatialbench -server URL -sweep list          # list the daemon-runnable sweeps
 //
@@ -51,6 +54,7 @@ import (
 	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/service"
 	"repro/internal/trace"
 )
@@ -79,15 +83,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		heatOut    = fs.String("heatmap", "", "write a per-PE send/recv/link-load heatmap CSV to this file")
 		cpCheck    = fs.Bool("cpcheck", false, "verify every measurement's critical path against its Depth/Distance metrics (slow)")
 		cacheFlag  = cliflags.AddCache(fs, "")
+		backend    = cliflags.AddBackend(fs)
 		server     = cliflags.AddServer(fs, "submit -sweep to this spatiald daemon (URL or host:port) instead of running locally")
 		sweepName  = fs.String("sweep", "", "registered bound sweep to run via -server (\"list\" to enumerate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	bk, err := backend.Parse()
+	if err != nil {
+		fmt.Fprintf(stderr, "spatialbench: -backend: %v\n", err)
+		return 2
+	}
+
+	// The daemon interprets "" as its own default backend, so only a
+	// finite spec travels with server requests (same convention as the
+	// JSON document's "machine" field).
+	backendSpec := ""
+	if bk.Finite() {
+		backendSpec = bk.String()
+	}
 
 	if *server != "" {
-		return runSweepOnServer(*server, *sweepName, *quick, *seed, *jsonOut, stdout, stderr)
+		return runSweepOnServer(*server, *sweepName, *quick, *seed, *jsonOut, backendSpec, stdout, stderr)
 	}
 	if *sweepName != "" {
 		fmt.Fprintln(stderr, "spatialbench: -sweep requires -server (local runs use -exp)")
@@ -149,7 +167,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	opts := pool.HarnessOptions()
+	opts := append(pool.HarnessOptions(), harness.WithBackend(bk))
 	if *progress {
 		opts = append(opts, harness.WithProgress(func(done, total int) {
 			fmt.Fprintf(stderr, "\r%d/%d points", done, total)
@@ -191,6 +209,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *heatOut != "" {
 		heat = trace.NewHeatmap()
+		if bk.Finite() {
+			// Fold the heatmap onto the same physical fabric the machines
+			// charge costs on, so the CSV shows load on physical links.
+			heat.SetFabric(bk.W, bk.H, bk.Block, bk.Kind == machine.BackendTorus)
+		}
 		sinks = append(sinks, heat)
 	}
 	if len(sinks) > 0 {
@@ -243,7 +266,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runSweepOnServer submits one registered bound sweep to a spatiald daemon
 // and prints its rows (tab-separated, or the raw result document with
 // -json). "-sweep list" asks the local registry for the runnable names.
-func runSweepOnServer(server, name string, quick bool, seed int64, jsonOut bool, stdout, stderr io.Writer) int {
+func runSweepOnServer(server, name string, quick bool, seed int64, jsonOut bool, backendSpec string, stdout, stderr io.Writer) int {
 	if name == "list" {
 		fmt.Fprintln(stdout, "bound sweeps (run with -server URL -sweep NAME):")
 		for _, n := range experiments.BoundSweeps(quick).Names() {
@@ -256,7 +279,7 @@ func runSweepOnServer(server, name string, quick bool, seed int64, jsonOut bool,
 		return 2
 	}
 	c := &service.Client{Base: server}
-	id, err := c.SubmitSweep(service.SweepRequest{Name: name, Quick: quick, Seed: seed})
+	id, err := c.SubmitSweep(service.SweepRequest{Name: name, Quick: quick, Seed: seed, Backend: backendSpec})
 	if err != nil {
 		fmt.Fprintf(stderr, "spatialbench: %v\n", err)
 		return 2

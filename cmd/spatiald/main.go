@@ -11,6 +11,8 @@
 //	spatiald -addr :9000              # different listen address
 //	spatiald -cache /var/simcache     # persist results across restarts
 //	spatiald -rate 10 -burst 20       # cap job submissions per second
+//	spatiald -backend mesh:8x8:4      # default machine backend for jobs
+//	                                  # (requests may override per job)
 //	spatiald -addrfile /tmp/addr      # write the bound address (with -addr :0)
 //
 // Endpoints: POST /v1/jobs/sweep, POST /v1/jobs/boundcheck,
@@ -54,6 +56,20 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, stop, mainProvider))
 }
 
+// Header/read/idle timeouts bound what one slow client can hold: without
+// ReadHeaderTimeout a connection trickling header bytes pins a goroutine
+// forever (slowloris). Job execution itself is async (submit returns an
+// id; results are polled), so request bodies are small and these bounds
+// never race a long simulation. No WriteTimeout: result documents for big
+// cached sweeps can legitimately take a while on a slow reader, and the
+// drain path needs pollers to keep receiving status. Vars, not consts, so
+// the slowloris regression test can shrink them to test scale.
+var (
+	readHeaderTimeout = 10 * time.Second
+	readTimeout       = 30 * time.Second
+	idleTimeout       = 2 * time.Minute
+)
+
 // provider yields the sweep registry and claim set, injectable so the
 // smoke test drives the full daemon against fast synthetic sweeps.
 type provider func(quick bool) (*harness.Registry, []bounds.Claim)
@@ -71,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, prov pro
 		pool     = cliflags.AddPool(fs)
 		cacheFlg = cliflags.AddCache(fs, "directory for the persistent result cache (default: in-memory only)")
 		entries  = fs.Int("cache-entries", 4096, "in-memory LRU capacity, sweep points (0 = unbounded)")
+		backend  = cliflags.AddBackend(fs)
 		rate     = fs.Float64("rate", 0, "max job submissions per second (0 = unlimited)")
 		burst    = fs.Int("burst", 0, "rate-limit burst (default: ceil(rate))")
 		drain    = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
@@ -79,17 +96,23 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, prov pro
 		return 2
 	}
 
-	backend, err := cacheFlg.Backend()
+	bk, err := backend.Parse()
+	if err != nil {
+		fmt.Fprintf(stderr, "spatiald: -backend: %v\n", err)
+		return 2
+	}
+	store, err := cacheFlg.Backend()
 	if err != nil {
 		fmt.Fprintf(stderr, "spatiald: -cache: %v\n", err)
 		return 2
 	}
-	cache := simcache.New(backend, *entries)
+	cache := simcache.New(store, *entries)
 
 	eng := service.New(service.Config{
 		Workers:    pool.Parallel,
 		Shards:     pool.Shards,
 		Batch:      pool.Batch,
+		Backend:    bk,
 		Cache:      cache,
 		Sweeps:     func(quick bool) *harness.Registry { reg, _ := prov(quick); return reg },
 		Claims:     func() []bounds.Claim { _, claims := prov(false); return claims },
@@ -111,7 +134,12 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, prov pro
 	}
 	fmt.Fprintf(stdout, "spatiald: listening on http://%s\n", ln.Addr())
 
-	srv := &http.Server{Handler: eng.Handler()}
+	srv := &http.Server{
+		Handler:           eng.Handler(),
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		IdleTimeout:       idleTimeout,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 

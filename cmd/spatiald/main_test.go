@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -160,6 +161,48 @@ func TestSmokePersistentCache(t *testing.T) {
 	}
 	if code := shutdown2(); code != 0 {
 		t.Errorf("second daemon exit = %d", code)
+	}
+}
+
+// TestSlowHeaderClientDisconnected is the slowloris regression test: a
+// client that opens a connection and never finishes its request header must
+// be cut off by ReadHeaderTimeout instead of pinning a server goroutine
+// forever, and the daemon must stay responsive to real clients throughout.
+func TestSlowHeaderClientDisconnected(t *testing.T) {
+	defer func(h, r, i time.Duration) { readHeaderTimeout, readTimeout, idleTimeout = h, r, i }(
+		readHeaderTimeout, readTimeout, idleTimeout)
+	readHeaderTimeout = 150 * time.Millisecond
+	readTimeout = 300 * time.Millisecond
+
+	c, shutdown := startDaemon(t)
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", strings.TrimPrefix(c.Base, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Trickle an eternally incomplete request line, slowloris-style.
+	if _, err := conn.Write([]byte("GET /healthz HT")); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 256)
+	start := time.Now()
+	for {
+		_, err := conn.Read(buf)
+		if err != nil {
+			break // server closed the connection (or sent 408 then closed)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("slow-header connection survived %v, want prompt close", elapsed)
+	}
+
+	// A well-behaved client is unaffected while the slow one is cut off.
+	if _, err := c.Metrics(); err != nil {
+		t.Errorf("healthy client blocked by slowloris connection: %v", err)
 	}
 }
 

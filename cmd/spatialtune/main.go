@@ -13,6 +13,7 @@
 //	                                 # fronts, per-objective winners) as JSON
 //	spatialtune -list                # list tunable workloads and exit
 //	spatialtune -cache DIR           # reuse previously simulated points
+//	spatialtune -backend mesh:8x8:4  # tune on a folded finite fabric
 //
 // Every candidate of a workload is measured on the identical input (the
 // mapping travels in the result-cache key, never in the RNG seed), so the
@@ -48,7 +49,10 @@ type report struct {
 	Seed      int64           `json:"seed"`
 	Shards    int             `json:"shards"`
 	Batch     bool            `json:"batch"`
-	Workloads []tuner.Result  `json:"workloads"`
+	// Machine is the canonical finite-backend spec, omitted for the ideal
+	// model so pre-backend tuner artifacts stay byte-identical.
+	Machine   string         `json:"machine,omitempty"`
+	Workloads []tuner.Result `json:"workloads"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -64,8 +68,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed         = cliflags.AddSeed(fs)
 		pool         = cliflags.AddPool(fs)
 		cacheFlag    = cliflags.AddCache(fs, "")
+		backend      = cliflags.AddBackend(fs)
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	bk, err := backend.Parse()
+	if err != nil {
+		fmt.Fprintf(stderr, "spatialtune: -backend: %v\n", err)
 		return 2
 	}
 
@@ -94,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workloads = []tuner.Workload{w}
 	}
 
-	opts := append(pool.HarnessOptions(), harness.WithLargestFirst())
+	opts := append(pool.HarnessOptions(), harness.WithLargestFirst(), harness.WithBackend(bk))
 	cache, err := cacheFlag.Open()
 	if err != nil {
 		fmt.Fprintf(stderr, "spatialtune: -cache: %v\n", err)
@@ -116,6 +126,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	r := harness.New(*seed, opts...)
 	rep := report{Objective: obj, Quick: *quick, Seed: *seed, Shards: pool.Shards, Batch: pool.Batch}
+	if bk.Finite() {
+		rep.Machine = bk.String()
+	}
 	for _, w := range workloads {
 		rep.Workloads = append(rep.Workloads, tuner.Tune(r, w, *quick))
 	}

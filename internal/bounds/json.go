@@ -16,6 +16,10 @@ type RunMeta struct {
 	MaxPoints int   `json:"maxpoints"`
 	Shards    int   `json:"shards"`
 	Batch     bool  `json:"batch"`
+	// Machine is the canonical finite-backend spec ("mesh:8x8:4"), empty
+	// for the ideal unbounded model — omitted from the document then, so
+	// pre-backend verdict files and default runs stay byte-identical.
+	Machine string `json:"machine,omitempty"`
 }
 
 // jsonVerdict fixes the float formatting (%.4g strings) so the output is
@@ -44,6 +48,7 @@ type reportDoc struct {
 	MaxPoints int           `json:"maxpoints"`
 	Shards    int           `json:"shards"`
 	Batch     bool          `json:"batch"`
+	Machine   string        `json:"machine,omitempty"`
 	Claims    int           `json:"claims"`
 	Failures  int           `json:"failures"`
 	Sweeps    []SweepStat   `json:"sweeps"`
@@ -54,7 +59,7 @@ type reportDoc struct {
 // the canonical indented JSON document (trailing newline included).
 func MarshalReportJSON(rep Report, meta RunMeta) ([]byte, error) {
 	doc := reportDoc{Quick: meta.Quick, Seed: meta.Seed, MaxPoints: meta.MaxPoints,
-		Shards: meta.Shards, Batch: meta.Batch,
+		Shards: meta.Shards, Batch: meta.Batch, Machine: meta.Machine,
 		Claims: len(rep.Verdicts), Failures: rep.Failures(), Sweeps: rep.Sweeps}
 	for _, v := range rep.Verdicts {
 		jv := jsonVerdict{Verdict: v, Measured: fmtMeasure(v.Measured)}
@@ -95,6 +100,6 @@ func ReadReportJSON(data []byte) (Report, RunMeta, error) {
 		rep.Verdicts[i] = jv.Verdict
 	}
 	meta := RunMeta{Quick: doc.Quick, Seed: doc.Seed, MaxPoints: doc.MaxPoints,
-		Shards: doc.Shards, Batch: doc.Batch}
+		Shards: doc.Shards, Batch: doc.Batch, Machine: doc.Machine}
 	return rep, meta, nil
 }

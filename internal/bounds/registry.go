@@ -270,6 +270,32 @@ func Registry() []Claim {
 			Sweep: "bounds/graph-triangles", Col: 2},
 	)
 
+	// --- Finite-hardware backends (internal/machine backends,
+	// bounds/backend-*): the Table I sort refolded onto a fixed 8×8 fabric
+	// whose fold block scales with the layout side (the layout fills exactly
+	// one pane; see internal/experiments/backend.go for the row shape and
+	// the per-message bounds d_mesh <= d_ideal <= block·(d_mesh + 2)).
+	claims = append(claims,
+		Claim{ID: "backend/mesh-energy-contracts", Source: "internal/machine backends", Primitive: "sort", Metric: Energy,
+			Stated: "folding only contracts distances: E_mesh < E_ideal at every n", Kind: Dominates, Sweep: "bounds/backend-sort",
+			Col: 2, Den: 1},
+		Claim{ID: "backend/fold-inflation-bounded", Source: "internal/machine backends", Primitive: "sort", Metric: Derived,
+			Stated: "E_ideal <= f·(E_mesh + 2·messages) when the layout fits one pane (f = fold block)", Kind: ValueBounded, Sweep: "bounds/backend-sort",
+			Col: 4, Lo: 0.01, Hi: 1.0},
+		Claim{ID: "backend/torus-beats-mesh", Source: "internal/machine backends", Primitive: "sort", Metric: Energy,
+			Stated: "wraparound never lengthens a route: the torus wins at every measured n", Kind: Dominates, Sweep: "bounds/backend-sort",
+			Col: 3, Den: 2},
+		Claim{ID: "backend/answers-invariant", Source: "internal/machine backends", Primitive: "sort", Metric: Derived,
+			// The match column is exactly 1.0 when the FNV hashes of all
+			// three fabrics' outputs agree and 0.0 otherwise; the band is
+			// only open because ValueBounded requires Lo < Hi.
+			Stated: "backends change costs, never results: sorted outputs bit-identical on every fabric", Kind: ValueBounded, Sweep: "bounds/backend-sort",
+			Col: 5, Lo: 0.999, Hi: 1.001},
+		Claim{ID: "backend/folding-concentrates-load", Source: "internal/machine backends", Primitive: "sort", Metric: Derived,
+			Stated: "a fixed fabric concentrates load: max-link inflation grows with n", Kind: RatioGrows, Sweep: "bounds/backend-congestion",
+			Col: 5, MinGain: 2},
+	)
+
 	return claims
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/simcache"
 )
 
@@ -47,6 +48,39 @@ func (p *Pool) HarnessOptions() []harness.Option {
 		opts = append(opts, harness.WithBatchSends())
 	}
 	return opts
+}
+
+// MachineBackend holds the -backend flag: the hardware model sweep
+// machines charge message costs on. Finite backends fold the unbounded
+// virtual grid onto a W×H fabric (see internal/machine); results are
+// identical under every backend, only the cost metrics change.
+type MachineBackend struct {
+	Spec string
+}
+
+// AddBackend registers -backend on fs.
+func AddBackend(fs *flag.FlagSet) *MachineBackend {
+	b := &MachineBackend{}
+	fs.StringVar(&b.Spec, "backend", "ideal",
+		"machine backend: ideal, mesh:WxH[:block] or torus:WxH[:block] (folds the grid onto a finite fabric; costs change, results don't)")
+	return b
+}
+
+// Parse validates the spec via machine.ParseBackend.
+func (b *MachineBackend) Parse() (machine.Backend, error) {
+	return machine.ParseBackend(b.Spec)
+}
+
+// HarnessOption renders the flag as the runner option carrying the
+// backend (harness.WithBackend). The ideal default is explicit rather
+// than omitted: the runner canonicalizes the spec into its cache keys
+// either way.
+func (b *MachineBackend) HarnessOption() (harness.Option, error) {
+	bk, err := b.Parse()
+	if err != nil {
+		return nil, err
+	}
+	return harness.WithBackend(bk), nil
 }
 
 // AddSeed registers the workload-generation -seed flag.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package backendinvariance
+
+const raceEnabled = false

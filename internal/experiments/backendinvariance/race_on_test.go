@@ -1,0 +1,8 @@
+//go:build race
+
+package backendinvariance
+
+// raceEnabled lets the invariance test detect the race detector (roughly a
+// 10x slowdown) and skip; the machine-level folded shard test in
+// internal/machine runs under -race and covers the backend concurrency.
+const raceEnabled = true

@@ -67,6 +67,7 @@ func All() []Experiment {
 		{"depth-scaling", "Table I depth column", "fitted polylog degrees of depth for all four primitives", runDepthScaling},
 		{"congestion", "extension", "max per-link load (XY routing) of scans, sorts and broadcast", runCongestion},
 		{"graph", "composed workloads", "BFS, connected components, PageRank, triangles on the primitives", runGraph},
+		{"backend", "extension", "Table I sort folded onto finite mesh/torus fabrics: energy, inflation bound, link load", runBackend},
 	}
 }
 

@@ -26,11 +26,31 @@ const graphPageRankIters = 4
 
 // meshGraph returns the √n x √n lattice (n must be a perfect square).
 func meshGraph(n int) *graph.Graph {
-	side := int(math.Round(math.Sqrt(float64(n))))
+	side := intSqrt(n)
 	if side*side != n {
 		panic(fmt.Sprintf("experiments: graph sweep size %d is not a perfect square", n))
 	}
 	return graph.Mesh2D(side)
+}
+
+// intSqrt returns ⌊√n⌋ exactly. The float64 round-trip it replaces is
+// exact only up to 2^52; beyond that a sweep size one off a perfect
+// square could round to a side whose square passes the check.
+func intSqrt(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("experiments: intSqrt of negative %d", n))
+	}
+	// The float seed is within ±1 of the true root; correct it exactly in
+	// uint64 so the squares can't overflow for any int input.
+	un := uint64(n)
+	r := uint64(math.Sqrt(float64(n)))
+	for r > 0 && r*r > un {
+		r--
+	}
+	for (r+1)*(r+1) <= un {
+		r++
+	}
+	return int(r)
 }
 
 // graphAnswer sanity-checks an on-grid result against its host reference;

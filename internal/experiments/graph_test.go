@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+func TestIntSqrtExact(t *testing.T) {
+	// Exhaustive around small perfect squares plus the large values where
+	// the float64 round-trip this replaced loses integer precision.
+	for n := 0; n <= 1<<12; n++ {
+		r := intSqrt(n)
+		if r*r > n || (r+1)*(r+1) <= n {
+			t.Fatalf("intSqrt(%d) = %d", n, r)
+		}
+	}
+	for _, side := range []int{1 << 20, 1<<26 + 3, 1 << 30, 3037000499} {
+		n := side * side
+		if n/side != side {
+			continue // overflowed int on this platform
+		}
+		if got := intSqrt(n); got != side {
+			t.Errorf("intSqrt(%d) = %d, want %d", n, got, side)
+		}
+		if got := intSqrt(n - 1); got != side-1 {
+			t.Errorf("intSqrt(%d) = %d, want %d", n-1, got, side-1)
+		}
+		if n+1 > 0 {
+			if got := intSqrt(n + 1); got != side {
+				t.Errorf("intSqrt(%d) = %d, want %d", n+1, got, side)
+			}
+		}
+	}
+}

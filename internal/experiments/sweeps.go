@@ -467,5 +467,9 @@ func BoundSweeps(quick bool) *harness.Registry {
 	// pagerank, triangles}, rows {n, meshE, meshD, rmatE, rmatD}.
 	registerGraphSweeps(reg, quick)
 
+	// Finite-hardware backends: bounds/backend-{sort, congestion} — the
+	// Table I sort refolded onto a fixed mesh/torus fabric (see backend.go).
+	registerBackendSweeps(reg, quick)
+
 	return reg
 }

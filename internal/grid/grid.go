@@ -40,8 +40,14 @@ func SquareFor(origin machine.Coord, n int) Rect {
 func (r Rect) Size() int { return r.H * r.W }
 
 // Diameter returns the largest Manhattan distance between two PEs of the
-// region.
-func (r Rect) Diameter() int64 { return int64(r.H - 1 + r.W - 1) }
+// region. Empty or degenerate regions (no PEs, or a single PE) have
+// diameter 0 — without the clamp an H=0,W=0 rect would report −2.
+func (r Rect) Diameter() int64 {
+	if r.H <= 0 || r.W <= 0 {
+		return 0
+	}
+	return int64(r.H - 1 + r.W - 1)
+}
 
 // Contains reports whether c lies inside the region.
 func (r Rect) Contains(c machine.Coord) bool {

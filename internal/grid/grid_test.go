@@ -26,6 +26,36 @@ func TestRectBasics(t *testing.T) {
 	}
 }
 
+func TestRectEmpty(t *testing.T) {
+	// Regression: Diameter() of an empty rect used to return −2.
+	cases := []Rect{
+		{},                         // H=0, W=0
+		{H: 0, W: 5},               // empty row band
+		{H: 3, W: 0},               // empty column band
+		{H: 1, W: 1},               // single PE: degenerate but non-empty
+		{H: -1, W: 4},              // negative extents are empty too
+		{Origin: machine.Coord{Row: 7, Col: -3}, H: 0, W: 0},
+	}
+	for _, r := range cases {
+		if d := r.Diameter(); (r.H <= 0 || r.W <= 0) && d != 0 {
+			t.Errorf("Diameter(%v) = %d, want 0 for empty rect", r, d)
+		} else if d < 0 {
+			t.Errorf("Diameter(%v) = %d is negative", r, d)
+		}
+		if r.H <= 0 || r.W <= 0 {
+			if s := r.Size(); s > 0 {
+				t.Errorf("Size(%v) = %d, want <= 0 for empty rect", r, s)
+			}
+			if r.Contains(r.Origin) {
+				t.Errorf("Contains(%v) accepted origin of empty rect", r)
+			}
+		}
+	}
+	if d := (Rect{H: 1, W: 1}).Diameter(); d != 0 {
+		t.Errorf("Diameter of 1x1 = %d, want 0", d)
+	}
+}
+
 func TestSquareFor(t *testing.T) {
 	r := SquareFor(machine.Coord{}, 64)
 	if r.H != 8 || r.W != 8 {

@@ -89,6 +89,7 @@ func (e *Env) Machine() *machine.Machine {
 		e.m.SetSink(trace.Multi(sinks...))
 		e.m.SetShards(e.r.shards)
 		e.m.SetBatchSends(e.r.batchSends)
+		e.m.SetBackend(e.r.backend)
 	} else {
 		// A re-lease within a point ends the previous measurement: verify
 		// its critical paths before Reset discards the metrics.
@@ -145,6 +146,7 @@ func (e *Env) release() {
 	e.m.SetSink(nil)
 	e.m.SetShards(1)
 	e.m.SetBatchSends(false)
+	e.m.SetBackend(machine.Ideal())
 	e.r.pool.Put(e.m)
 	e.m = nil
 	e.cp = nil
@@ -244,6 +246,19 @@ func WithShards(k int) Option {
 	return func(r *Runner) { r.shards = k }
 }
 
+// WithBackend leases every machine with the given hardware backend applied
+// (see machine.SetBackend): messages are costed on a finite W×H mesh or
+// torus fabric instead of the ideal unbounded grid. Like WithMapping, the
+// backend is deliberately NOT part of the per-point RNG seed — runs on
+// different fabrics draw identical workloads, so backend comparisons
+// measure the fabric, not a reshuffled input. It IS part of the simcache
+// key (its canonical String form), so cached rows measured on different
+// fabrics never alias. The backend is removed again (reset to Ideal) when
+// a machine returns to the shared pool.
+func WithBackend(b machine.Backend) Option {
+	return func(r *Runner) { r.backend = b }
+}
+
 // WithBatchSends marks leased machines as driven through the batched send
 // API, enabling the counting-only fast path for data-oblivious algorithms
 // (see machine.CountingOnly). The fast path is automatically disabled on
@@ -278,8 +293,8 @@ func WithCriticalPathCheck() Option {
 // completes.
 //
 // Keys cover (sweep name, point index, runner seed, shards, batch,
-// congestion, mapping, code version), exactly the inputs that determine a
-// point's rows; see simcache.Key. Every sweep is byte-deterministic in
+// congestion, mapping, machine backend, code version), exactly the inputs
+// that determine a point's rows; see simcache.Key. Every sweep is byte-deterministic in
 // those inputs, so a hit is exact, not approximate.
 func WithCache(c *simcache.Cache) Option {
 	return func(r *Runner) { r.cache = c }
@@ -308,6 +323,8 @@ type Runner struct {
 	largestFirst bool
 	shards       int
 	batchSends   bool
+	backend      machine.Backend
+	backendStr   string
 	cache        *simcache.Cache
 	cacheVersion string
 
@@ -342,6 +359,9 @@ func New(seed int64, opts ...Option) *Runner {
 	if r.cache != nil && r.cacheVersion == "" {
 		r.cacheVersion = simcache.CodeVersion()
 	}
+	// Canonicalize once: cache keys always carry the String() form, so ""
+	// and "ideal" (and any other spelling) address identically.
+	r.backendStr = r.backend.String()
 	return r
 }
 
@@ -367,6 +387,7 @@ func (r *Runner) cacheKey(s *Sweep, idx int) simcache.Key {
 		Batch:      r.batchSends,
 		Congestion: s.cong,
 		Mapping:    s.mapStr,
+		Machine:    r.backendStr,
 		Version:    r.cacheVersion,
 	}
 }

@@ -124,12 +124,29 @@ func (b *Batch) Flush() {
 // fork/join (see shard.go). Both paths produce byte-identical counters,
 // clocks and register state.
 func (m *Machine) processRound(msgs []bmsg) {
-	if m.shards > 1 && len(msgs) >= m.shardMin {
+	if m.shards > 1 && len(msgs) >= m.shardMin && m.shardSafe(msgs) {
 		m.processSharded(msgs)
 		return
 	}
 	m.chargeRound(msgs)
 	m.deliverRound(msgs)
+}
+
+// shardSafe reports whether a round may run shard-parallel: always under
+// the ideal backend; under a finite backend only when the round delivers no
+// registers (counting-only), because the physical co-residency peak of a
+// folded fabric depends on the issue order of register writes across the
+// whole round, which per-shard delivery does not preserve.
+func (m *Machine) shardSafe(msgs []bmsg) bool {
+	if m.physCnt == nil {
+		return true
+	}
+	for i := range msgs {
+		if msgs[i].dst != countReg {
+			return false
+		}
+	}
+	return true
 }
 
 // chargeRound is the sequential charge pass: for each message it accounts
@@ -145,11 +162,11 @@ func (m *Machine) chargeRound(msgs []bmsg) {
 			continue
 		}
 		src := m.peAt(g.from)
-		d := Dist(g.from, g.to)
+		d := m.dist(g.from, g.to)
 		m.energy += d
 		m.messages++
 		if m.cong != nil {
-			m.cong.routeMessage(g.from, g.to)
+			m.cong.route(m.bk, g.from, g.to)
 		}
 		g.depth = src.clk.depth + 1
 		g.dist = src.clk.dist + d
@@ -175,7 +192,9 @@ func (m *Machine) deliverRound(msgs []bmsg) {
 		m.noteTouch(g.to, p)
 		p.clk.merge(g.depth, g.dist)
 		if g.dst != countReg {
-			p.set(g.dst, g.v)
+			if p.set(g.dst, g.v) {
+				m.physGrow(g.to)
+			}
 			m.noteMem(g.to, p)
 		}
 	}
@@ -218,12 +237,12 @@ func (m *Machine) CountPair(a, b PEHandle) {
 		m.noteTouch(a.c, a.p) // two self-sends: free local computation
 		return
 	}
-	d := Dist(a.c, b.c)
+	d := m.dist(a.c, b.c)
 	m.energy += 2 * d
 	m.messages += 2
 	if m.cong != nil {
-		m.cong.routeMessage(a.c, b.c)
-		m.cong.routeMessage(b.c, a.c)
+		m.cong.route(m.bk, a.c, b.c)
+		m.cong.route(m.bk, b.c, a.c)
 	}
 	// Start-of-round sender clocks: nothing else in this (two-message) round
 	// touches a or b, so reading them directly is the round snapshot.

@@ -104,6 +104,61 @@ func (c *congestion) bump(at Coord, d linkDir) {
 	}
 }
 
+// route walks one message under the given backend: the virtual XY path
+// under Ideal, the XY path between the physical homes on a mesh, and the
+// wrap-aware shortest XY path on a torus. Under a finite backend the
+// recorded link loads are therefore loads on *physical* fabric links, with
+// coordinates in [0,H)×[0,W) — exactly what the heatmap of a real fabric
+// shows — and TotalLinkTraversals still equals the energy, because every
+// message bumps exactly its backend distance in links.
+func (c *congestion) route(b Backend, from, to Coord) {
+	switch b.Kind {
+	case BackendIdeal:
+		c.routeMessage(from, to)
+	case BackendMesh:
+		c.routeMessage(b.Fold(from), b.Fold(to))
+	case BackendTorus:
+		c.routeTorus(b.Fold(from), b.Fold(to), b.W, b.H)
+	}
+}
+
+// routeTorus walks the X-then-Y path on a W×H torus, taking the shorter
+// way around each ring (east/south on a tie) and wrapping coordinates at
+// the fabric edges.
+func (c *congestion) routeTorus(a, b Coord, w, h int) {
+	cur := a
+	east := (b.Col - cur.Col) % w
+	if east < 0 {
+		east += w
+	}
+	if east <= w-east {
+		for i := 0; i < east; i++ {
+			c.bump(cur, linkEast)
+			cur.Col = (cur.Col + 1) % w
+		}
+	} else {
+		for i := 0; i < w-east; i++ {
+			c.bump(cur, linkWest)
+			cur.Col = (cur.Col - 1 + w) % w
+		}
+	}
+	south := (b.Row - cur.Row) % h
+	if south < 0 {
+		south += h
+	}
+	if south <= h-south {
+		for i := 0; i < south; i++ {
+			c.bump(cur, linkSouth)
+			cur.Row = (cur.Row + 1) % h
+		}
+	} else {
+		for i := 0; i < h-south; i++ {
+			c.bump(cur, linkNorth)
+			cur.Row = (cur.Row - 1 + h) % h
+		}
+	}
+}
+
 // routeMessage walks the X-then-Y path from a to b, bumping link loads.
 func (c *congestion) routeMessage(a, b Coord) {
 	cur := a

@@ -38,6 +38,7 @@ package machine
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/trace"
@@ -61,10 +62,18 @@ func Dist(a, b Coord) int64 {
 }
 
 func absInt64(x int) int64 {
-	if x < 0 {
-		return int64(-x)
+	// Widen before negating: int64(-x) overflows for math.MinInt32 on
+	// 32-bit platforms, where -int64(x) is exact. On 64-bit platforms the
+	// lone unrepresentable magnitude is -math.MinInt64; saturate it to
+	// MaxInt64 so the distance stays non-negative.
+	w := int64(x)
+	if w < 0 {
+		w = -w
+		if w < 0 { // math.MinInt64
+			w = math.MaxInt64
+		}
 	}
-	return int64(x)
+	return w
 }
 
 // Value is the payload of a message or register. Payloads must be
@@ -136,27 +145,32 @@ func (p *pe) lookup(id regID) (Value, bool) {
 	return nil, false
 }
 
-// set stores v, reusing an existing slot when present.
-func (p *pe) set(id regID, v Value) {
+// set stores v, reusing an existing slot when present. It reports whether
+// the register file grew (a new slot was appended), which the finite
+// backends use to maintain physical-PE occupancy counts.
+func (p *pe) set(id regID, v Value) (grew bool) {
 	for i := range p.regs {
 		if p.regs[i].id == id {
 			p.regs[i].v = v
-			return
+			return false
 		}
 	}
 	p.regs = append(p.regs, regSlot{id, v})
+	return true
 }
 
-func (p *pe) del(id regID) {
+// del frees the register and reports whether a slot was actually removed.
+func (p *pe) del(id regID) (removed bool) {
 	for i := range p.regs {
 		if p.regs[i].id == id {
 			last := len(p.regs) - 1
 			p.regs[i] = p.regs[last]
 			p.regs[last] = regSlot{}
 			p.regs = p.regs[:last]
-			return
+			return true
 		}
 	}
+	return false
 }
 
 // Tiles are 16x16: big enough that subgrid recursions stay within a handful
@@ -298,6 +312,15 @@ type Machine struct {
 	// cong, when non-nil, tracks per-link traffic (see congestion.go).
 	cong *congestion
 
+	// bk is the cost backend (see backend.go): the ideal unbounded grid
+	// (zero value), or a finite folded mesh/torus fabric. When finite,
+	// physCnt counts the registers co-resident on each physical PE (dense
+	// row-major W×H) and physPeak is the largest count ever reached. The
+	// backend survives Reset; the occupancy counts are cleared.
+	bk       Backend
+	physCnt  []int32
+	physPeak int
+
 	// sink, when non-nil, receives one trace.Event per message sent; phase
 	// is the current Phase annotation stamped onto emitted events. The
 	// send fast paths pay a nil check only when tracing is disabled.
@@ -324,6 +347,90 @@ func NewWithMemoryLimit(limit int) *Machine {
 	m := New()
 	m.memLimit = limit
 	return m
+}
+
+// SetBackend selects the cost backend (see backend.go). It panics on an
+// invalid backend. The setting survives Reset, so pooled machines keep
+// their fabric across sweep points; pass Ideal() to restore the unbounded
+// model. Switching backends mid-run is allowed — the physical occupancy
+// counters are rebuilt from the live registers, and the physical peak
+// restarts from the current occupancy.
+//
+// Finite backends execute batched rounds sequentially even when SetShards
+// has enabled sharding: the physical co-residency peak depends on the
+// issue order of register writes across the whole round, which the
+// shard-parallel delivery pass does not preserve.
+func (m *Machine) SetBackend(b Backend) {
+	b = b.normalize()
+	if err := b.validate(); err != nil {
+		panic(err)
+	}
+	m.bk = b
+	m.physPeak = 0
+	if !b.Finite() {
+		m.physCnt = nil
+		return
+	}
+	need := b.W * b.H
+	if cap(m.physCnt) < need {
+		m.physCnt = make([]int32, need)
+	} else {
+		m.physCnt = m.physCnt[:need]
+		clear(m.physCnt)
+	}
+	// Rebuild occupancy from whatever is already live so SetBackend is
+	// valid at any point, not just on an empty machine.
+	for k, t := range m.tiles {
+		if t.touched == 0 {
+			continue
+		}
+		for i := range t.pes {
+			p := &t.pes[i]
+			if !p.touched || len(p.regs) == 0 {
+				continue
+			}
+			c := Coord{Row: k.Row<<tileShift | i>>tileShift, Col: k.Col<<tileShift | i&tileMask}
+			idx := b.physIndex(c)
+			m.physCnt[idx] += int32(len(p.regs))
+			if int(m.physCnt[idx]) > m.physPeak {
+				m.physPeak = int(m.physCnt[idx])
+			}
+		}
+	}
+}
+
+// Backend returns the machine's cost backend.
+func (m *Machine) Backend() Backend { return m.bk }
+
+// dist is the backend-aware message cost: Manhattan distance of the
+// virtual coordinates under Ideal, distance between physical homes on a
+// finite fabric.
+func (m *Machine) dist(a, b Coord) int64 {
+	if m.bk.Kind == BackendIdeal {
+		return Dist(a, b)
+	}
+	return m.bk.Dist(a, b)
+}
+
+// physGrow/physShrink maintain the per-physical-PE occupancy counts of a
+// finite backend; both are no-ops under Ideal.
+func (m *Machine) physGrow(c Coord) {
+	if m.physCnt == nil {
+		return
+	}
+	i := m.bk.physIndex(c)
+	n := m.physCnt[i] + 1
+	m.physCnt[i] = n
+	if int(n) > m.physPeak {
+		m.physPeak = int(n)
+	}
+}
+
+func (m *Machine) physShrink(c Coord) {
+	if m.physCnt == nil {
+		return
+	}
+	m.physCnt[m.bk.physIndex(c)]--
 }
 
 // SetSink installs a trace sink receiving one trace.Event per message sent
@@ -439,14 +546,23 @@ func (m *Machine) peLookup(c Coord) *pe {
 	return p
 }
 
-// Metrics returns the current cost counters.
+// Metrics returns the current cost counters. Under a finite backend
+// PeakMemory is the largest number of registers ever co-resident on one
+// physical PE (folding multiplies the per-PE footprint by the number of
+// virtual PEs a physical PE hosts); it is always at least the virtual
+// per-PE peak, and equal to it when no two touched virtual PEs share a
+// physical home.
 func (m *Machine) Metrics() Metrics {
+	pm := m.peakMem
+	if m.physPeak > pm {
+		pm = m.physPeak
+	}
 	return Metrics{
 		Energy:     m.energy,
 		Depth:      m.maxDepth,
 		Distance:   m.maxDist,
 		Messages:   m.messages,
-		PeakMemory: m.peakMem,
+		PeakMemory: pm,
 	}
 }
 
@@ -470,8 +586,9 @@ func (m *Machine) ResetClocks() {
 // allocated tiles, per-PE register slices, interning table and round buffers
 // for reuse. Sweeps run many sizes on one machine with Reset between points
 // instead of reallocating the grid each time. The memory limit, trace sink,
-// congestion-tracking, shard-count and batched-send settings survive (the
-// phase annotation is cleared); congestion link loads are cleared.
+// congestion-tracking, shard-count, batched-send and backend settings
+// survive (the phase annotation is cleared); congestion link loads and
+// physical-PE occupancy counts are cleared.
 func (m *Machine) Reset() {
 	for _, t := range m.tiles {
 		if t.touched == 0 {
@@ -503,13 +620,19 @@ func (m *Machine) Reset() {
 	if m.cong != nil {
 		m.cong.reset()
 	}
+	if m.physCnt != nil {
+		clear(m.physCnt)
+	}
+	m.physPeak = 0
 }
 
 // Set stores v into register r of PE c without any communication. It models
 // local computation (free in this model) or initial input placement.
 func (m *Machine) Set(c Coord, r Reg, v Value) {
 	p := m.peAt(c)
-	p.set(m.regID(r), v)
+	if p.set(m.regID(r), v) {
+		m.physGrow(c)
+	}
 	m.noteMem(c, p)
 }
 
@@ -546,7 +669,9 @@ func (m *Machine) Lookup(c Coord, r Reg) (Value, bool) {
 func (m *Machine) Del(c Coord, r Reg) {
 	if p := m.peLookup(c); p != nil {
 		if id, ok := m.regIDLookup(r); ok {
-			p.del(id)
+			if p.del(id) {
+				m.physShrink(c)
+			}
 		}
 	}
 }
@@ -580,7 +705,7 @@ func (m *Machine) SendValue(from, to Coord, dstReg Reg, v Value) {
 		m.Set(to, dstReg, v)
 		return
 	}
-	d := Dist(from, to)
+	d := m.dist(from, to)
 	src := m.peAt(from)
 	msgDepth := src.clk.depth + 1
 	msgDist := src.clk.dist + d
@@ -588,7 +713,7 @@ func (m *Machine) SendValue(from, to Coord, dstReg Reg, v Value) {
 	m.energy += d
 	m.messages++
 	if m.cong != nil {
-		m.cong.routeMessage(from, to)
+		m.cong.route(m.bk, from, to)
 	}
 	if msgDepth > m.maxDepth {
 		m.maxDepth = msgDepth
@@ -600,7 +725,9 @@ func (m *Machine) SendValue(from, to Coord, dstReg Reg, v Value) {
 	dst := m.peAt(to)
 	m.noteTouch(to, dst)
 	dst.clk.merge(msgDepth, msgDist)
-	dst.set(m.regID(dstReg), v)
+	if dst.set(m.regID(dstReg), v) {
+		m.physGrow(to)
+	}
 	m.noteMem(to, dst)
 
 	if m.sink != nil {
@@ -759,11 +886,11 @@ func (m *Machine) Par(round func(send func(from, to Coord, dstReg Reg, v Value))
 			src.snapClk = src.clk
 			src.snapSeen = gen
 		}
-		d := Dist(from, to)
+		d := m.dist(from, to)
 		m.energy += d
 		m.messages++
 		if m.cong != nil {
-			m.cong.routeMessage(from, to)
+			m.cong.route(m.bk, from, to)
 		}
 		msg := delivery{to: to, dst: m.regID(dstReg), v: v,
 			depth: src.snapClk.depth + 1, dist: src.snapClk.dist + d}
@@ -784,7 +911,9 @@ func (m *Machine) Par(round func(send func(from, to Coord, dstReg Reg, v Value))
 		dst := m.peAt(msg.to)
 		m.noteTouch(msg.to, dst)
 		dst.clk.merge(msg.depth, msg.dist)
-		dst.set(msg.dst, msg.v)
+		if dst.set(msg.dst, msg.v) {
+			m.physGrow(msg.to)
+		}
 		m.noteMem(msg.to, dst)
 	}
 	for i := range pending {

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -24,6 +25,30 @@ func TestDist(t *testing.T) {
 		}
 		if got := Dist(c.b, c.a); got != c.want {
 			t.Errorf("Dist not symmetric for %v,%v", c.a, c.b)
+		}
+	}
+}
+
+func TestAbsInt64Extremes(t *testing.T) {
+	// Regression: the old implementation negated before widening, so
+	// absInt64(math.MinInt) overflowed to a negative distance.
+	cases := []struct {
+		in   int
+		want int64
+	}{
+		{0, 0},
+		{-1, 1},
+		{math.MaxInt, int64(math.MaxInt)},
+		{math.MinInt + 1, int64(math.MaxInt)},
+		{math.MinInt, math.MaxInt64}, // saturated: |MinInt64| is unrepresentable
+	}
+	for _, c := range cases {
+		got := absInt64(c.in)
+		if got != c.want {
+			t.Errorf("absInt64(%d) = %d, want %d", c.in, got, c.want)
+		}
+		if got < 0 {
+			t.Errorf("absInt64(%d) = %d is negative", c.in, got)
 		}
 	}
 }

@@ -170,7 +170,7 @@ func (m *Machine) processSharded(msgs []bmsg) {
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
-				s.charges[w] = chargeChunk(msgs[lo:hi], s.srcs[lo:hi])
+				s.charges[w] = chargeChunk(msgs[lo:hi], s.srcs[lo:hi], m.bk)
 			}(w, lo, hi)
 		}
 		wg.Wait()
@@ -251,11 +251,11 @@ func (m *Machine) chargeResolved(msgs []bmsg) {
 			g.depth, g.dist = 0, 0
 			continue
 		}
-		d := Dist(g.from, g.to)
+		d := m.dist(g.from, g.to)
 		m.energy += d
 		m.messages++
 		if m.cong != nil {
-			m.cong.routeMessage(g.from, g.to)
+			m.cong.route(m.bk, g.from, g.to)
 		}
 		g.depth = src.clk.depth + 1
 		g.dist = src.clk.dist + d
@@ -272,9 +272,9 @@ func (m *Machine) chargeResolved(msgs []bmsg) {
 }
 
 // chargeChunk charges one contiguous chunk of the round into local counters.
-// It only reads sender clocks and writes the chunk's own messages, so chunks
-// are data-race free by construction.
-func chargeChunk(msgs []bmsg, srcs []*pe) chargeAccum {
+// It only reads sender clocks (and the immutable backend value) and writes
+// the chunk's own messages, so chunks are data-race free by construction.
+func chargeChunk(msgs []bmsg, srcs []*pe, bk Backend) chargeAccum {
 	var a chargeAccum
 	for i := range msgs {
 		g := &msgs[i]
@@ -283,7 +283,7 @@ func chargeChunk(msgs []bmsg, srcs []*pe) chargeAccum {
 			g.depth, g.dist = 0, 0
 			continue
 		}
-		d := Dist(g.from, g.to)
+		d := bk.Dist(g.from, g.to)
 		a.energy += d
 		a.messages++
 		g.depth = src.clk.depth + 1
@@ -316,6 +316,8 @@ func (m *Machine) deliverShard(msgs []bmsg, idxs []int32, top uint64, w int) {
 		}
 		p.clk.merge(g.depth, g.dist)
 		if g.dst != countReg {
+			// No physGrow here: rounds that deliver registers under a
+			// finite backend never reach the sharded path (see shardSafe).
 			p.set(g.dst, g.v)
 			n := len(p.regs)
 			if n > p.peakReg {

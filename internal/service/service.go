@@ -6,8 +6,8 @@
 // Three mechanisms make the pool cheap to share:
 //
 //   - A request batcher coalesces overlapping sweeps: two in-flight jobs
-//     that need the same (sweep, quick, seed, maxpoints, timeout) attach to
-//     one harness execution — the generalization of bounds.Check's
+//     that need the same (sweep, quick, seed, maxpoints, timeout, backend)
+//     attach to one harness execution — the generalization of bounds.Check's
 //     per-run sweep dedup across concurrent requests.
 //   - The runner's simcache resolves previously computed points at enqueue
 //     time, so a warmed daemon answers repeat sweeps without simulating
@@ -20,8 +20,8 @@
 //
 // Endpoints (all JSON):
 //
-//	POST /v1/jobs/sweep       {"name","quick","seed","maxpoints","timeout_ms"} → {"id"}
-//	POST /v1/jobs/boundcheck  {"quick","seed","maxpoints","timeout_ms","run"}  → {"id"}
+//	POST /v1/jobs/sweep       {"name","quick","seed","maxpoints","timeout_ms","backend"} → {"id"}
+//	POST /v1/jobs/boundcheck  {"quick","seed","maxpoints","timeout_ms","run","backend"}  → {"id"}
 //	GET  /v1/jobs/{id}         job status + weighted progress
 //	GET  /v1/jobs/{id}/result  the job's result document (409 while running)
 //	GET  /metrics              jobs, cache hit/miss, rows simulated/served
@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/simcache"
 )
 
@@ -57,6 +58,10 @@ type Config struct {
 	// key's code-version component (tests pin it; production leaves it "").
 	Cache        *simcache.Cache
 	CacheVersion string
+	// Backend is the machine backend jobs run under when a request does
+	// not name one (requests with a non-empty "backend" field override
+	// it). The zero value is the ideal unbounded model.
+	Backend machine.Backend
 	// Sweeps yields the sweep registry for quick/full runs. Claims yields
 	// the conformance claim set. Both are called lazily and memoized.
 	Sweeps func(quick bool) *harness.Registry
@@ -76,7 +81,7 @@ type Engine struct {
 	start time.Time
 
 	mu      sync.Mutex
-	runners map[int64]*harness.Runner
+	runners map[string]*harness.Runner // keyed by (seed, backend)
 	regs    map[bool]*harness.Registry
 	claims  []bounds.Claim
 	jobs    map[string]*Job
@@ -109,7 +114,7 @@ func New(cfg Config) *Engine {
 	e := &Engine{
 		cfg:     cfg,
 		start:   time.Now(),
-		runners: make(map[int64]*harness.Runner),
+		runners: make(map[string]*harness.Runner),
 		regs:    make(map[bool]*harness.Registry),
 		jobs:    make(map[string]*Job),
 		flights: make(map[string]*flight),
@@ -127,13 +132,23 @@ func New(cfg Config) *Engine {
 	return e
 }
 
-func (e *Engine) runner(seed int64) *harness.Runner {
+// resolveBackend canonicalizes a request's backend spec, falling back to
+// the engine-wide default for the empty string.
+func (e *Engine) resolveBackend(spec string) (machine.Backend, error) {
+	if spec == "" {
+		return e.cfg.Backend, nil
+	}
+	return machine.ParseBackend(spec)
+}
+
+func (e *Engine) runner(seed int64, bk machine.Backend) *harness.Runner {
+	key := fmt.Sprintf("%d|%s", seed, bk)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if r, ok := e.runners[seed]; ok {
+	if r, ok := e.runners[key]; ok {
 		return r
 	}
-	opts := []harness.Option{harness.WithLargestFirst()}
+	opts := []harness.Option{harness.WithLargestFirst(), harness.WithBackend(bk)}
 	if e.cfg.Workers > 0 {
 		opts = append(opts, harness.WithWorkers(e.cfg.Workers))
 	}
@@ -150,7 +165,7 @@ func (e *Engine) runner(seed int64) *harness.Runner {
 		}
 	}
 	r := harness.New(seed, opts...)
-	e.runners[seed] = r
+	e.runners[key] = r
 	return r
 }
 
@@ -383,10 +398,11 @@ type sweepParams struct {
 	Seed      int64
 	MaxPoints int
 	Timeout   time.Duration
+	Backend   machine.Backend
 }
 
 func (p sweepParams) key() string {
-	return fmt.Sprintf("%s|q=%t|s=%d|k=%d|t=%d", p.Name, p.Quick, p.Seed, p.MaxPoints, p.Timeout)
+	return fmt.Sprintf("%s|q=%t|s=%d|k=%d|t=%d|b=%s", p.Name, p.Quick, p.Seed, p.MaxPoints, p.Timeout, p.Backend)
 }
 
 // runSweep returns the rows of one parameterized sweep, joining an
@@ -440,7 +456,7 @@ func (e *Engine) lead(key string, p sweepParams, f *flight) {
 	if p.Timeout > 0 {
 		opts = append(opts, harness.Deadline(p.Timeout))
 	}
-	s, err := e.registry(p.Quick).Go(e.runner(p.Seed), p.Name, opts...)
+	s, err := e.registry(p.Quick).Go(e.runner(p.Seed, p.Backend), p.Name, opts...)
 	if err != nil {
 		f.err = err
 		return
@@ -459,6 +475,9 @@ type SweepRequest struct {
 	Seed      int64  `json:"seed"`
 	MaxPoints int    `json:"maxpoints"`
 	TimeoutMS int64  `json:"timeout_ms"`
+	// Backend is a machine-backend spec ("mesh:8x8:4"); empty uses the
+	// daemon's configured default (normally the ideal unbounded model).
+	Backend string `json:"backend,omitempty"`
 }
 
 // BoundcheckRequest submits a conformance run over the claim registry.
@@ -469,6 +488,9 @@ type BoundcheckRequest struct {
 	TimeoutMS int64 `json:"timeout_ms"`
 	// Run keeps only claims whose ID starts with this prefix ("" = all).
 	Run string `json:"run,omitempty"`
+	// Backend is a machine-backend spec ("mesh:8x8:4"); empty uses the
+	// daemon's configured default (normally the ideal unbounded model).
+	Backend string `json:"backend,omitempty"`
 }
 
 // SweepResult is the result document of a sweep job.
@@ -496,8 +518,13 @@ func (e *Engine) SubmitSweep(req SweepRequest) (*Job, error) {
 		return nil, fmt.Errorf("service: unknown sweep %q (have %v)",
 			req.Name, e.registry(req.Quick).Names())
 	}
+	bk, err := e.resolveBackend(req.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
 	p := sweepParams{Name: req.Name, Quick: req.Quick, Seed: defaultSeed(req.Seed),
-		MaxPoints: req.MaxPoints, Timeout: time.Duration(req.TimeoutMS) * time.Millisecond}
+		MaxPoints: req.MaxPoints, Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		Backend: bk}
 	return e.newJob("sweep", func(j *Job) {
 		rows, skipped, hits, err := e.runSweep(p, func(pr Progress) { j.updateSweep(p.Name, pr) })
 		if err != nil {
@@ -534,6 +561,14 @@ func (e *Engine) SubmitBoundcheck(req BoundcheckRequest) (*Job, error) {
 	}
 	seed := defaultSeed(req.Seed)
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	bk, err := e.resolveBackend(req.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	machineMeta := ""
+	if bk.Finite() {
+		machineMeta = bk.String()
+	}
 	return e.newJob("boundcheck", func(j *Job) {
 		// Distinct sweeps in claim order, exactly like bounds.Check — but
 		// each through the batcher, so concurrent jobs share executions.
@@ -558,7 +593,7 @@ func (e *Engine) SubmitBoundcheck(req BoundcheckRequest) (*Job, error) {
 			go func(i int, name string) {
 				defer wg.Done()
 				p := sweepParams{Name: name, Quick: req.Quick, Seed: seed,
-					MaxPoints: req.MaxPoints, Timeout: timeout}
+					MaxPoints: req.MaxPoints, Timeout: timeout, Backend: bk}
 				rows, skipped, hits, err := e.runSweep(p, func(pr Progress) { j.updateSweep(name, pr) })
 				outs[i] = outcome{rows, skipped, hits, err}
 			}(i, name)
@@ -585,7 +620,7 @@ func (e *Engine) SubmitBoundcheck(req BoundcheckRequest) (*Job, error) {
 		}
 		result, err := bounds.MarshalReportJSON(rep, bounds.RunMeta{
 			Quick: req.Quick, Seed: seed, MaxPoints: req.MaxPoints,
-			Shards: e.effectiveShards(), Batch: e.cfg.Batch})
+			Shards: e.effectiveShards(), Batch: e.cfg.Batch, Machine: machineMeta})
 		j.finish(result, hits, skipped, err)
 	})
 }

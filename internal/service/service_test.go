@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/simcache"
 )
 
@@ -319,4 +320,70 @@ func TestResultBeforeDoneConflicts(t *testing.T) {
 		t.Error("result of a running job did not conflict")
 	}
 	waitDone(t, c, id)
+}
+
+// machineSweeps is a registry whose one sweep actually simulates (long
+// east-west messages), so its rows depend on the machine backend — the
+// probe for per-request backend plumbing.
+func machineSweeps(quick bool) *harness.Registry {
+	reg := &harness.Registry{}
+	reg.MustRegister(harness.SweepSpec{Name: "syn/wire", Points: 2,
+		Point: func(i int, env *harness.Env) []harness.Row {
+			m := env.Machine()
+			m.Par(func(send func(from, to machine.Coord, dstReg machine.Reg, v machine.Value)) {
+				for j := 0; j < 16; j++ {
+					send(machine.Coord{Row: j, Col: 0}, machine.Coord{Row: j, Col: 63}, "v", int64(j))
+				}
+			})
+			return harness.One(float64(i), float64(m.Metrics().Energy))
+		}})
+	return reg
+}
+
+// TestSweepJobBackendKeyed: a request naming a finite backend runs on a
+// runner folding onto that fabric — its energies contract versus the
+// default ideal run — and the two parameterizations never share a flight
+// or a cache row. Bad specs are rejected at submission.
+func TestSweepJobBackendKeyed(t *testing.T) {
+	_, c := testEngine(t, func(cfg *Config) { cfg.Sweeps = machineSweeps })
+
+	energy := func(backend string) float64 {
+		t.Helper()
+		id, err := c.SubmitSweep(SweepRequest{Name: "syn/wire", Backend: backend})
+		if err != nil {
+			t.Fatalf("submit (backend %q): %v", backend, err)
+		}
+		info := waitDone(t, c, id)
+		if info.Status != StatusDone {
+			t.Fatalf("job = %+v", info)
+		}
+		data, err := c.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res SweepResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0][1].(float64)
+	}
+
+	ideal := energy("")
+	mesh := energy("mesh:4x4:16")
+	if ideal <= 0 || mesh <= 0 {
+		t.Fatalf("energies = %v (ideal), %v (mesh); want both positive", ideal, mesh)
+	}
+	if mesh >= ideal {
+		t.Errorf("mesh energy %v did not contract below ideal %v", mesh, ideal)
+	}
+	if again := energy("mesh:4x4:16"); again != mesh {
+		t.Errorf("repeat mesh run = %v, want cached %v", again, mesh)
+	}
+
+	if _, err := c.SubmitSweep(SweepRequest{Name: "syn/wire", Backend: "mesh:0x4"}); err == nil {
+		t.Error("bad backend spec accepted by sweep submission")
+	}
+	if _, err := c.SubmitBoundcheck(BoundcheckRequest{Backend: "grid:banana"}); err == nil {
+		t.Error("bad backend spec accepted by boundcheck submission")
+	}
 }

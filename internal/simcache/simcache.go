@@ -48,6 +48,12 @@ type Row = []any
 //     share one name (and so one RNG stream — candidates measure identical
 //     workloads) while producing different rows per mapping, so the
 //     mapping must be part of the address.
+//   - Machine is the canonical spec of the machine backend the point ran
+//     on (machine.Backend.String(): "ideal", "mesh:WxH[:block]",
+//     "torus:WxH[:block]"). Finite backends charge different costs for the
+//     same computation, so rows measured on different fabrics must never
+//     alias. "" and "ideal" are distinct encodings of the same backend;
+//     callers canonicalize (the harness always writes the String() form).
 //   - Version pins the code that produced the rows; see CodeVersion.
 type Key struct {
 	Sweep      string
@@ -57,6 +63,7 @@ type Key struct {
 	Batch      bool
 	Congestion bool
 	Mapping    string
+	Machine    string
 	Version    string
 }
 
@@ -85,7 +92,7 @@ func (k Key) Hash() string {
 			h.Write([]byte{0})
 		}
 	}
-	writeStr("simcache/v2")
+	writeStr("simcache/v3")
 	writeStr(k.Sweep)
 	writeInt(int64(k.Point))
 	writeInt(k.Seed)
@@ -93,6 +100,7 @@ func (k Key) Hash() string {
 	writeBool(k.Batch)
 	writeBool(k.Congestion)
 	writeStr(k.Mapping)
+	writeStr(k.Machine)
 	writeStr(k.Version)
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -14,11 +14,11 @@ var golden = Key{Sweep: "bounds/scan", Point: 3, Seed: 1, Shards: 4, Batch: true
 // TestKeyHashGolden pins the key encoding: the hash must be this exact
 // string on every platform and run. If this test fails the encoding
 // changed, which silently orphans every persisted cache entry — bump the
-// "simcache/v2" tag deliberately and update the constant here if that is
-// intended. (v1 → v2 added the Mapping field; every v1 entry was orphaned
-// on purpose.)
+// "simcache/v3" tag deliberately and update the constant here if that is
+// intended. (v1 → v2 added the Mapping field, v2 → v3 the Machine backend
+// field; the older generations' entries were orphaned on purpose.)
 func TestKeyHashGolden(t *testing.T) {
-	const want = "ef77adb2edd7c612cf73e68421698fc0582a73de5071f1a4798bf74d49411b42"
+	const want = "a5b6970969cd7cf929bc57f397f9af423ec139c5a262f7d14ae90dbb48d792bd"
 	if got := golden.Hash(); got != want {
 		t.Errorf("golden key hash drifted:\n got  %s\n want %s", got, want)
 	}
@@ -40,6 +40,7 @@ func TestKeyHashSensitivity(t *testing.T) {
 		"batch":      {Sweep: "bounds/scan", Point: 3, Seed: 1, Shards: 4, Batch: false, Version: "vcs:deadbeef"},
 		"congestion": {Sweep: "bounds/scan", Point: 3, Seed: 1, Shards: 4, Batch: true, Congestion: true, Version: "vcs:deadbeef"},
 		"mapping":    {Sweep: "bounds/scan", Point: 3, Seed: 1, Shards: 4, Batch: true, Mapping: "track=zorder,arity=4,tile=square,sort=bitonic", Version: "vcs:deadbeef"},
+		"machine":    {Sweep: "bounds/scan", Point: 3, Seed: 1, Shards: 4, Batch: true, Machine: "mesh:16x16:4", Version: "vcs:deadbeef"},
 		"version":    {Sweep: "bounds/scan", Point: 3, Seed: 1, Shards: 4, Batch: true, Version: "vcs:cafef00d"},
 	}
 	seen := map[string]string{base: "base"}

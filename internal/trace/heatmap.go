@@ -57,11 +57,56 @@ type Heatmap struct {
 	cells   map[Coord]*HeatCell
 	maxLink int64
 	events  int64
+
+	// Fabric mapping (SetFabric): when fabW > 0, event endpoints fold onto
+	// a fabW×fabH physical fabric (fabBlock consecutive virtual cells per
+	// physical PE per axis, panes repeating periodically) and links are
+	// walked on the fabric — wrap-aware when fabTorus — so the heatmap
+	// shows load on physical links, mirroring the machine's finite
+	// backends.
+	fabW, fabH, fabBlock int
+	fabTorus             bool
 }
 
 // NewHeatmap returns an empty heatmap.
 func NewHeatmap() *Heatmap {
 	return &Heatmap{cells: make(map[Coord]*HeatCell)}
+}
+
+// SetFabric folds all subsequent events onto a w×h physical fabric with the
+// given per-axis fold block before aggregating, and routes their links on
+// that fabric (with wraparound links when torus is true). Call it before
+// the first event; coordinates in the aggregated cells are then physical
+// fabric coordinates in [0,h)×[0,w). Matches the folding of the machine's
+// mesh/torus backends, so a heatmap fed by a machine running the same
+// backend shows the same per-link loads as its congestion tracker.
+func (h *Heatmap) SetFabric(w, hgt, block int, torus bool) {
+	if w < 1 || hgt < 1 {
+		panic(fmt.Sprintf("trace: SetFabric with non-positive fabric %dx%d", w, hgt))
+	}
+	if block < 1 {
+		block = 1
+	}
+	h.fabW, h.fabH, h.fabBlock, h.fabTorus = w, hgt, block, torus
+}
+
+// foldAxis maps a virtual axis coordinate onto its physical home: the pane
+// of size·block cells repeats periodically (Euclidean modulo handles
+// negative scratch coordinates), block consecutive cells per physical PE.
+func foldAxis(v, size, block int) int {
+	span := size * block
+	u := v % span
+	if u < 0 {
+		u += span
+	}
+	return u / block
+}
+
+func (h *Heatmap) fold(c Coord) Coord {
+	if h.fabW == 0 {
+		return c
+	}
+	return Coord{Row: foldAxis(c.Row, h.fabH, h.fabBlock), Col: foldAxis(c.Col, h.fabW, h.fabBlock)}
 }
 
 func (h *Heatmap) cell(c Coord) *HeatCell {
@@ -76,16 +121,17 @@ func (h *Heatmap) cell(c Coord) *HeatCell {
 // Event accumulates one message.
 func (h *Heatmap) Event(e *Event) {
 	h.events++
-	src := h.cell(e.From)
+	from, to := h.fold(e.From), h.fold(e.To)
+	src := h.cell(from)
 	src.Sends++
 	src.SendTraffic += e.Dist
-	dst := h.cell(e.To)
+	dst := h.cell(to)
 	dst.Recvs++
 	dst.RecvTraffic += e.Dist
 
 	// XY walk: column-first, then row, bumping the outgoing link of every
 	// intermediate PE.
-	cur := e.From
+	cur := from
 	bump := func(d LinkDir) {
 		l := &h.cell(cur).Link[d]
 		*l++
@@ -93,19 +139,55 @@ func (h *Heatmap) Event(e *Event) {
 			h.maxLink = *l
 		}
 	}
-	for cur.Col < e.To.Col {
+	if h.fabTorus {
+		// Shorter way around each ring (east/south on a tie), wrapping at
+		// the fabric edges — the same discipline as the machine's torus
+		// congestion router.
+		east := (to.Col - cur.Col) % h.fabW
+		if east < 0 {
+			east += h.fabW
+		}
+		if east <= h.fabW-east {
+			for i := 0; i < east; i++ {
+				bump(LinkEast)
+				cur.Col = (cur.Col + 1) % h.fabW
+			}
+		} else {
+			for i := 0; i < h.fabW-east; i++ {
+				bump(LinkWest)
+				cur.Col = (cur.Col - 1 + h.fabW) % h.fabW
+			}
+		}
+		south := (to.Row - cur.Row) % h.fabH
+		if south < 0 {
+			south += h.fabH
+		}
+		if south <= h.fabH-south {
+			for i := 0; i < south; i++ {
+				bump(LinkSouth)
+				cur.Row = (cur.Row + 1) % h.fabH
+			}
+		} else {
+			for i := 0; i < h.fabH-south; i++ {
+				bump(LinkNorth)
+				cur.Row = (cur.Row - 1 + h.fabH) % h.fabH
+			}
+		}
+		return
+	}
+	for cur.Col < to.Col {
 		bump(LinkEast)
 		cur.Col++
 	}
-	for cur.Col > e.To.Col {
+	for cur.Col > to.Col {
 		bump(LinkWest)
 		cur.Col--
 	}
-	for cur.Row < e.To.Row {
+	for cur.Row < to.Row {
 		bump(LinkSouth)
 		cur.Row++
 	}
-	for cur.Row > e.To.Row {
+	for cur.Row > to.Row {
 		bump(LinkNorth)
 		cur.Row--
 	}

@@ -216,6 +216,58 @@ func TestHeatmapAgainstMachineAccounting(t *testing.T) {
 	}
 }
 
+// TestHeatmapFabricMatchesBackendCongestion: a heatmap folded onto the
+// same fabric as the machine's finite backend reproduces the machine's
+// per-link accounting — peak link load and total traversals (== energy).
+func TestHeatmapFabricMatchesBackendCongestion(t *testing.T) {
+	for _, tc := range []struct {
+		spec  string
+		torus bool
+	}{
+		{"mesh:6x6:2", false},
+		{"torus:6x6:2", true},
+	} {
+		b, err := machine.ParseBackend(tc.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := machine.New()
+		m.SetBackend(b)
+		m.EnableCongestionTracking()
+		h := trace.NewHeatmap()
+		h.SetFabric(b.W, b.H, b.Block, tc.torus)
+		m.SetSink(h)
+		m.Par(func(send func(from, to machine.Coord, dstReg machine.Reg, v machine.Value)) {
+			for i := 0; i < 12; i++ {
+				send(machine.Coord{Row: i, Col: 0}, machine.Coord{Row: (i * 5) % 12, Col: 11 - i}, "v", i)
+			}
+		})
+		mm := m.Metrics()
+		if h.MaxLinkLoad() != m.MaxCongestion() {
+			t.Errorf("%s: heatmap max link %d != machine congestion %d", tc.spec, h.MaxLinkLoad(), m.MaxCongestion())
+		}
+		var linkSum int64
+		origin, grid := h.Grid()
+		for _, row := range grid {
+			for _, cell := range row {
+				for _, l := range cell.Link {
+					linkSum += l
+				}
+			}
+		}
+		if linkSum != mm.Energy {
+			t.Errorf("%s: link traversals %d != energy %d", tc.spec, linkSum, mm.Energy)
+		}
+		// All cells live on the physical fabric.
+		if origin.Row < 0 || origin.Col < 0 {
+			t.Errorf("%s: heatmap origin %v outside the fabric", tc.spec, origin)
+		}
+		if len(grid) > b.H || (len(grid) > 0 && len(grid[0]) > b.W) {
+			t.Errorf("%s: heatmap %dx%d exceeds fabric %dx%d", tc.spec, len(grid), len(grid[0]), b.H, b.W)
+		}
+	}
+}
+
 func TestHeatmapCSV(t *testing.T) {
 	h := trace.NewHeatmap()
 	e := trace.Event{From: trace.Coord{Row: 0, Col: 0}, To: trace.Coord{Row: 0, Col: 2}, Dist: 2}

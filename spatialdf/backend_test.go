@@ -1,0 +1,85 @@
+package spatialdf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestWithBackendFacade: a finite backend must change only the cost
+// metrics, never the computed answer — and the ordering E_torus <= E_mesh
+// <= E_ideal must hold (folding contracts distances; wraparound shortens
+// them further).
+func TestWithBackendFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 512)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	base, baseMet := Sort(vals)
+	mesh, meshMet := Sort(vals, WithBackend("mesh:8x8:4"))
+	torus, torusMet := Sort(vals, WithBackend("torus:8x8:4"))
+	for i := range base {
+		if mesh[i] != base[i] || torus[i] != base[i] {
+			t.Fatalf("backend changed the answer at index %d", i)
+		}
+	}
+	if meshMet.Messages != baseMet.Messages || torusMet.Messages != baseMet.Messages {
+		t.Errorf("backend changed message count: ideal %d mesh %d torus %d",
+			baseMet.Messages, meshMet.Messages, torusMet.Messages)
+	}
+	if meshMet.Energy > baseMet.Energy {
+		t.Errorf("mesh energy %d exceeds ideal %d", meshMet.Energy, baseMet.Energy)
+	}
+	if torusMet.Energy > meshMet.Energy {
+		t.Errorf("torus energy %d exceeds mesh %d", torusMet.Energy, meshMet.Energy)
+	}
+	// "ideal" is the explicit spelling of the default.
+	ideal, idealMet := Sort(vals, WithBackend("ideal"))
+	if idealMet.Energy != baseMet.Energy {
+		t.Errorf("explicit ideal backend energy %d, default %d", idealMet.Energy, baseMet.Energy)
+	}
+	for i := range base {
+		if ideal[i] != base[i] {
+			t.Fatalf("explicit ideal backend changed the answer at index %d", i)
+		}
+	}
+}
+
+// TestWithBackendBadSpec: malformed specs follow the Option error contract
+// (error return on error-returning ops, documented panic otherwise).
+func TestWithBackendBadSpec(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	_, _, err := Select(vals, 1, WithBackend("mesh:0x4"))
+	if err == nil || !strings.Contains(err.Error(), "WithBackend") {
+		t.Errorf("Select err = %v, want a WithBackend parse error", err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil || !strings.Contains(optionErrString(r), "WithBackend") {
+				t.Errorf("Sort panic = %v, want a WithBackend parse error", r)
+			}
+		}()
+		Sort(vals, WithBackend("grid:banana"))
+	}()
+}
+
+// TestWithBackendComposesWithCongestion: congestion tracking on a folded
+// fabric reports physical link loads, which can only concentrate relative
+// to the unbounded grid.
+func TestWithBackendComposesWithCongestion(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, 256)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	_, idealMet := Sort(vals, WithCongestion())
+	_, meshMet := Sort(vals, WithCongestion(), WithBackend("mesh:4x4:8"))
+	if idealMet.MaxLinkLoad <= 0 || meshMet.MaxLinkLoad <= 0 {
+		t.Fatalf("congestion tracking inactive: ideal %d mesh %d", idealMet.MaxLinkLoad, meshMet.MaxLinkLoad)
+	}
+	if meshMet.MaxLinkLoad < idealMet.MaxLinkLoad {
+		t.Errorf("folding spread load out: mesh max %d < ideal max %d", meshMet.MaxLinkLoad, idealMet.MaxLinkLoad)
+	}
+}

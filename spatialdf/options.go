@@ -50,6 +50,7 @@ type config struct {
 	batchSends bool
 	mapping    mapping.Mapping
 	mapped     bool
+	backend    machine.Backend
 	err        error
 }
 
@@ -164,6 +165,26 @@ func WithTracer(t Tracer) Option {
 	}))
 }
 
+// WithBackend runs the operation on a finite hardware backend instead of
+// the ideal unbounded grid. The spec is "ideal" (the default), or
+// "mesh:WxH[:block]" / "torus:WxH[:block]": the virtual grid folds onto a
+// W×H fabric of physical PEs (block consecutive virtual PEs per physical
+// PE per axis) and every message is charged the mesh — or wraparound torus
+// — distance between the physical homes of its endpoints. Results are
+// identical under every backend; only the cost metrics (Energy, Distance,
+// PeakMemory, MaxLinkLoad) change. A malformed spec is an error, reported
+// per the Option contract.
+func WithBackend(spec string) Option {
+	return func(c *config) {
+		b, err := machine.ParseBackend(spec)
+		if err != nil {
+			c.err = fmt.Errorf("spatialdf: WithBackend: %w", err)
+			return
+		}
+		c.backend = b
+	}
+}
+
 // WithSeed sets the seed of the pseudo-random choices of randomized
 // operations (Select, Median). Results are deterministic for a fixed seed;
 // the default seed is 1.
@@ -198,6 +219,9 @@ func (c config) newMachine() *machine.Machine {
 	}
 	if c.shards > 1 {
 		m.SetShards(c.shards)
+	}
+	if c.backend.Finite() {
+		m.SetBackend(c.backend)
 	}
 	return m
 }
