@@ -65,6 +65,13 @@ func Torus(w, h, block int) Backend {
 // per physical PE, so an absurd spec would be an absurd allocation.
 const maxFabricPEs = 1 << 22
 
+// maxFoldSpan bounds the per-axis pane span size·Block. foldAxis computes
+// span := size*block, so without a cap a huge Block wraps the product (to
+// zero or negative) and the first message divides by zero. 2^30 keeps the
+// product safe even for 32-bit int while allowing panes of a billion
+// virtual cells per axis — far beyond any sweep.
+const maxFoldSpan = 1 << 30
+
 func (b Backend) validate() error {
 	switch b.Kind {
 	case BackendIdeal:
@@ -73,11 +80,16 @@ func (b Backend) validate() error {
 		if b.W < 1 || b.H < 1 {
 			return fmt.Errorf("machine: backend %s: fabric must be at least 1x1", b)
 		}
-		if b.W*b.H > maxFabricPEs {
+		// Overflow-safe W*H ≤ maxFabricPEs: the product itself can wrap
+		// negative for adversarial dimensions, so divide instead.
+		if b.W > maxFabricPEs/b.H {
 			return fmt.Errorf("machine: backend %s: fabric exceeds %d physical PEs", b, maxFabricPEs)
 		}
 		if b.Block < 0 {
 			return fmt.Errorf("machine: backend %s: negative fold block", b)
+		}
+		if b.Block > maxFoldSpan/max(b.W, b.H) {
+			return fmt.Errorf("machine: backend %s: fold block exceeds pane span cap %d", b, maxFoldSpan)
 		}
 		return nil
 	}

@@ -33,10 +33,54 @@ func TestParseBackend(t *testing.T) {
 			t.Errorf("round-trip %q -> %v -> %v (%v)", c.spec, got, back, err)
 		}
 	}
-	for _, bad := range []string{"mesh", "mesh:16", "mesh:0x4", "mesh:4x-1", "torus:axb", "ring:8x8", "mesh:16x16:0", "mesh:16x16:x", "mesh:99999x99999"} {
+	for _, bad := range []string{"mesh", "mesh:16", "mesh:0x4", "mesh:4x-1", "torus:axb", "ring:8x8", "mesh:16x16:0", "mesh:16x16:x", "mesh:99999x99999",
+		// Overflow probes: W*H and W·Block/H·Block must be checked without
+		// computing a product that can wrap (these crashed the daemon once).
+		"mesh:3037000500x3037000500", "torus:3037000500x3037000500",
+		"mesh:4x4:4611686018427387904", "torus:4x4:4611686018427387904",
+		"mesh:4x4:1073741824"} {
 		if b, err := ParseBackend(bad); err == nil {
 			t.Errorf("ParseBackend(%q) = %v, want error", bad, b)
 		}
+	}
+}
+
+// TestBackendOverflowRejected pins the two overflow regressions: adversarial
+// W×H whose product wraps negative, and a fold block large enough that
+// foldAxis's size*block span wraps to zero (integer divide by zero on the
+// first message). Both must be rejected by validate — never reach SetBackend
+// or Fold.
+func TestBackendOverflowRejected(t *testing.T) {
+	huge := []Backend{
+		Mesh(3037000500, 3037000500, 1),
+		Torus(3037000500, 3037000500, 1),
+		Mesh(4, 4, 4611686018427387904),
+		Torus(4, 4, 4611686018427387904),
+		Mesh(4, 4, maxFoldSpan/4+1),
+	}
+	for _, b := range huge {
+		if err := b.validate(); err == nil {
+			t.Errorf("validate(%+v) = nil, want overflow error", b)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetBackend(%+v) did not panic", b)
+				}
+			}()
+			New().SetBackend(b)
+		}()
+	}
+	// The largest admissible block still folds and routes without wrapping.
+	b := Mesh(4, 4, maxFoldSpan/4)
+	if err := b.validate(); err != nil {
+		t.Fatalf("validate at pane-span cap: %v", err)
+	}
+	if got := b.Fold(Coord{Row: maxFoldSpan - 1, Col: 0}); got != (Coord{Row: 3, Col: 0}) {
+		t.Errorf("Fold at pane edge = %v, want {3 0}", got)
+	}
+	if d := b.Dist(Coord{}, Coord{Row: maxFoldSpan - 1, Col: 0}); d != 3 {
+		t.Errorf("Dist across pane = %d, want 3", d)
 	}
 }
 

@@ -386,4 +386,12 @@ func TestSweepJobBackendKeyed(t *testing.T) {
 	if _, err := c.SubmitBoundcheck(BoundcheckRequest{Backend: "grid:banana"}); err == nil {
 		t.Error("bad backend spec accepted by boundcheck submission")
 	}
+	// Overflow regressions: these specs once passed validation (W*H and
+	// span=size*block wrap int) and crashed the job goroutine; they must be
+	// rejected at submission.
+	for _, spec := range []string{"mesh:3037000500x3037000500", "mesh:4x4:4611686018427387904"} {
+		if _, err := c.SubmitSweep(SweepRequest{Name: "syn/wire", Backend: spec}); err == nil {
+			t.Errorf("overflowing backend spec %q accepted by sweep submission", spec)
+		}
+	}
 }

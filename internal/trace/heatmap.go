@@ -87,8 +87,19 @@ func (h *Heatmap) SetFabric(w, hgt, block int, torus bool) {
 	if block < 1 {
 		block = 1
 	}
+	// Mirror machine.Backend's pane-span cap: foldAxis computes size*block,
+	// which wraps for adversarial blocks and then divides by zero. Callers
+	// pass validated backends, so this is a programmer-error guard.
+	if block > maxFoldSpan/max(w, hgt) {
+		panic(fmt.Sprintf("trace: SetFabric fold block %d exceeds pane span cap %d", block, maxFoldSpan))
+	}
 	h.fabW, h.fabH, h.fabBlock, h.fabTorus = w, hgt, block, torus
 }
+
+// maxFoldSpan bounds size*block in foldAxis, matching
+// machine.Backend.validate's cap so validated backends always pass
+// SetFabric.
+const maxFoldSpan = 1 << 30
 
 // foldAxis maps a virtual axis coordinate onto its physical home: the pane
 // of size·block cells repeats periodically (Euclidean modulo handles

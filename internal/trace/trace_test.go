@@ -268,6 +268,18 @@ func TestHeatmapFabricMatchesBackendCongestion(t *testing.T) {
 	}
 }
 
+// TestHeatmapSetFabricOverflowPanics: a fold block large enough to wrap
+// size*block in foldAxis must be refused up front (programmer-error panic)
+// instead of dividing by zero on the first event.
+func TestHeatmapSetFabricOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetFabric with overflowing fold block did not panic")
+		}
+	}()
+	trace.NewHeatmap().SetFabric(4, 4, 4611686018427387904, false)
+}
+
 func TestHeatmapCSV(t *testing.T) {
 	h := trace.NewHeatmap()
 	e := trace.Event{From: trace.Coord{Row: 0, Col: 0}, To: trace.Coord{Row: 0, Col: 2}, Dist: 2}
